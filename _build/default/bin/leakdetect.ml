@@ -1,0 +1,488 @@
+(* leakdetect — command-line front end for the reproduction.
+
+   Subcommands mirror the paper's workflow (Fig. 3):
+     generate   build a synthetic application trace and write it to disk
+     stats      corpus statistics (Tables I-III, Figure 2 summary)
+     sign       cluster a sample of suspicious packets, emit signatures
+     detect     apply a signature file to a trace
+     evaluate   full pipeline with the paper's TP/FN/FP metrics
+     monitor    replay a trace through the on-device flow-control app *)
+
+open Cmdliner
+
+module Workload = Leakdetect_android.Workload
+module Trace_stats = Leakdetect_android.Trace_stats
+module Trace = Leakdetect_http.Trace
+module Packet = Leakdetect_http.Packet
+module Pipeline = Leakdetect_core.Pipeline
+module Metrics = Leakdetect_core.Metrics
+module Siggen = Leakdetect_core.Siggen
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+module Distance = Leakdetect_core.Distance
+module Detector = Leakdetect_core.Detector
+module Sensitive = Leakdetect_core.Sensitive
+module Compressor = Leakdetect_compress.Compressor
+module Agglomerative = Leakdetect_cluster.Agglomerative
+module Table = Leakdetect_util.Table
+module Prng = Leakdetect_util.Prng
+module Sample = Leakdetect_util.Sample
+
+let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
+
+(* --- logging --- *)
+
+let setup_log style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let setup_log_t =
+  Term.(const setup_log $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* --- common options --- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+
+let scale_t =
+  Arg.(value
+      & opt float 1.0
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Traffic scale factor; 1.0 reproduces the paper-sized trace.")
+
+let trace_t =
+  Arg.(value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Read packets from a trace file instead of generating a workload.")
+
+let sniff_binary path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try really_input_string ic 4 = Leakdetect_http.Trace_binary.magic
+      with End_of_file -> false)
+
+let load_records ~trace ~seed ~scale =
+  match trace with
+  | Some path -> (
+    let result =
+      if sniff_binary path then Leakdetect_http.Trace_binary.load path
+      else Trace.load path
+    in
+    match result with
+    | Ok records -> Array.of_list records
+    | Error e -> exit_err "cannot load %s: %s" path e)
+  | None -> (Workload.generate ~seed ~scale ()).Workload.records
+
+let split_records records =
+  let suspicious = ref [] and normal = ref [] in
+  Array.iter
+    (fun r ->
+      if r.Trace.labels = [] then normal := r.Trace.packet :: !normal
+      else suspicious := r.Trace.packet :: !suspicious)
+    records;
+  (Array.of_list (List.rev !suspicious), Array.of_list (List.rev !normal))
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run () seed scale output binary =
+    let ds = Workload.generate ~seed ~scale () in
+    let records = Array.to_list ds.Workload.records in
+    if binary then Leakdetect_http.Trace_binary.save output records
+    else Trace.save output records;
+    let total, sens, norm = Trace_stats.totals ds in
+    Printf.printf "wrote %s (%s): %d packets (%d sensitive, %d normal) from %d apps\n"
+      output (if binary then "binary" else "text") total sens norm
+      (Array.length ds.Workload.apps)
+  in
+  let output =
+    Arg.(value & opt string "trace.tsv"
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let binary =
+    Arg.(value & flag
+        & info [ "binary" ] ~doc:"Write the compact binary format instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic application trace.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_t $ output $ binary)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run seed scale trace top =
+    match trace with
+    | Some _ ->
+      (* From a trace file: destination and label statistics only (the
+         permission table needs the app population, which traces do not
+         carry). *)
+      let records = load_records ~trace ~seed ~scale in
+      let total = Array.length records in
+      let sens =
+        Array.fold_left
+          (fun acc r -> if r.Trace.labels = [] then acc else acc + 1)
+          0 records
+      in
+      Printf.printf "packets: %d total, %d sensitive, %d normal\n\n" total sens
+        (total - sens);
+      let module SM = Map.Make (String) in
+      let dests =
+        Array.fold_left
+          (fun acc (r : Trace.record) ->
+            let d =
+              Leakdetect_net.Domain.registrable r.Trace.packet.Packet.dst.Packet.host
+            in
+            SM.update d (function None -> Some 1 | Some c -> Some (c + 1)) acc)
+          SM.empty records
+      in
+      let rows =
+        SM.bindings dests
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.filteri (fun i _ -> i < top)
+        |> List.map (fun (d, c) -> [ d; string_of_int c ])
+      in
+      print_string
+        (Table.render ~title:"Top destination domains"
+           ~columns:[ ("destination", Table.Left); ("packets", Table.Right) ]
+           rows);
+      let labels = Hashtbl.create 16 in
+      Array.iter
+        (fun (r : Trace.record) ->
+          List.iter
+            (fun l ->
+              Hashtbl.replace labels l
+                (1 + Option.value ~default:0 (Hashtbl.find_opt labels l)))
+            r.Trace.labels)
+        records;
+      print_newline ();
+      print_string
+        (Table.render ~title:"Sensitive labels"
+           ~columns:[ ("label", Table.Left); ("packets", Table.Right) ]
+           (Hashtbl.fold (fun l c acc -> [ l; string_of_int c ] :: acc) labels []
+           |> List.sort compare))
+    | None ->
+      let ds = Workload.generate ~seed ~scale () in
+      let total, sens, norm = Trace_stats.totals ds in
+      Printf.printf "packets: %d total, %d sensitive, %d normal\n\n" total sens norm;
+      print_string
+        (Table.render ~title:"Permission combinations (Table I)"
+           ~columns:[ ("I L P C", Table.Left); ("apps", Table.Right) ]
+           (List.map
+              (fun r -> [ r.Trace_stats.pattern; string_of_int r.Trace_stats.count ])
+              (Trace_stats.table1 ds)));
+      print_newline ();
+      print_string
+        (Table.render ~title:"Top destinations (Table II)"
+           ~columns:
+             [ ("destination", Table.Left); ("packets", Table.Right); ("apps", Table.Right) ]
+           (List.map
+              (fun (r : Trace_stats.dest_row) ->
+                [ r.Trace_stats.domain; string_of_int r.Trace_stats.packets;
+                  string_of_int r.Trace_stats.apps ])
+              (Trace_stats.table2_top ~n:top ds)));
+      print_newline ();
+      print_string
+        (Table.render ~title:"Sensitive information (Table III)"
+           ~columns:
+             [ ("kind", Table.Left); ("packets", Table.Right); ("apps", Table.Right);
+               ("destinations", Table.Right) ]
+           (List.map
+              (fun (r : Trace_stats.kind_row) ->
+                [ Sensitive.paper_name r.Trace_stats.kind;
+                  string_of_int r.Trace_stats.packets;
+                  string_of_int r.Trace_stats.apps;
+                  string_of_int r.Trace_stats.destinations ])
+              (Trace_stats.table3 ds)));
+      let f2 = Trace_stats.figure2 ds in
+      Printf.printf
+        "\nFigure 2 summary: %d apps, mean %.1f destinations, max %d; %d with one destination\n"
+        f2.Trace_stats.total_apps f2.Trace_stats.mean f2.Trace_stats.max
+        f2.Trace_stats.one_destination
+  in
+  let top =
+    Arg.(value & opt int 26 & info [ "top" ] ~docv:"N" ~doc:"Destinations to list.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print corpus statistics (Tables I-III, Figure 2).")
+    Term.(const run $ seed_t $ scale_t $ trace_t $ top)
+
+(* --- shared pipeline configuration flags --- *)
+
+let n_t =
+  Arg.(value & opt int 500
+      & info [ "n"; "sample" ] ~docv:"N" ~doc:"Suspicious packets sampled for signature generation.")
+
+let compressor_t =
+  let parse s =
+    match Compressor.of_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown compressor %S (lz77|lzw|huffman)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Compressor.name c) in
+  Arg.(value
+      & opt (conv (parse, print)) Compressor.Lz77
+      & info [ "compressor" ] ~docv:"ALGO" ~doc:"NCD compressor: lz77, lzw or huffman.")
+
+let linkage_t =
+  let parse s =
+    match Agglomerative.linkage_of_name s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown linkage %S" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Agglomerative.linkage_name l) in
+  Arg.(value
+      & opt (conv (parse, print)) Agglomerative.Group_average
+      & info [ "linkage" ] ~docv:"LINKAGE"
+          ~doc:"Cluster linkage: group-average (paper), single or complete.")
+
+let cut_t =
+  Arg.(value
+      & opt (some float) None
+      & info [ "cut" ] ~docv:"DIST"
+          ~doc:"Dendrogram cut threshold; default: a quarter of the maximum distance.")
+
+let config_of ~compressor ~linkage ~cut =
+  let siggen =
+    { Siggen.default with
+      Siggen.linkage;
+      cut = (match cut with Some v -> Siggen.Threshold v | None -> Siggen.Auto);
+    }
+  in
+  { Pipeline.default_config with Pipeline.compressor; siggen }
+
+(* --- sign --- *)
+
+let sign_cmd =
+  let run seed scale trace n compressor linkage cut output =
+    let records = load_records ~trace ~seed ~scale in
+    let suspicious, _ = split_records records in
+    if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
+    let rng = Prng.create seed in
+    let sample = Sample.without_replacement rng n suspicious in
+    let config = config_of ~compressor ~linkage ~cut in
+    let dist =
+      Distance.create ~components:config.Pipeline.components
+        ~compressor:config.Pipeline.compressor ()
+    in
+    let result = Siggen.generate config.Pipeline.siggen dist sample in
+    Signature_io.save output result.Siggen.signatures;
+    Printf.printf "sampled %d suspicious packets -> %d clusters, %d signatures (%d rejected)\n"
+      (Array.length sample)
+      (List.length result.Siggen.clusters)
+      (List.length result.Siggen.signatures)
+      result.Siggen.rejected;
+    Printf.printf "wrote %s\n" output
+  in
+  let output =
+    Arg.(value & opt string "signatures.tsv"
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output signature file.")
+  in
+  Cmd.v
+    (Cmd.info "sign" ~doc:"Cluster suspicious packets and generate signatures.")
+    Term.(const run $ seed_t $ scale_t $ trace_t $ n_t $ compressor_t $ linkage_t $ cut_t $ output)
+
+(* --- cluster --- *)
+
+let cluster_cmd =
+  let run () seed scale trace n compressor linkage cut newick =
+    let records = load_records ~trace ~seed ~scale in
+    let suspicious, _ = split_records records in
+    if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
+    let rng = Prng.create seed in
+    let sample = Sample.without_replacement rng n suspicious in
+    let config = config_of ~compressor ~linkage ~cut in
+    let dist =
+      Distance.create ~components:config.Pipeline.components
+        ~compressor:config.Pipeline.compressor ()
+    in
+    let matrix = Distance.matrix dist sample in
+    match Leakdetect_cluster.Agglomerative.cluster ~linkage matrix with
+    | None -> exit_err "empty sample"
+    | Some tree ->
+      let threshold =
+        match cut with
+        | Some v -> v
+        | None -> 0.25 *. Distance.max_possible dist
+      in
+      let forest = Leakdetect_cluster.Dendrogram.cut ~threshold tree in
+      Printf.printf "clustered %d packets at threshold %.2f -> %d clusters\n\n"
+        (Array.length sample) threshold (List.length forest);
+      List.iteri
+        (fun i subtree ->
+          let members = Leakdetect_cluster.Dendrogram.members subtree in
+          let hosts =
+            List.sort_uniq compare
+              (List.map (fun j -> sample.(j).Packet.dst.Packet.host) members)
+          in
+          Printf.printf "cluster %2d: %3d packets, height %.3f, hosts: %s\n" i
+            (List.length members)
+            (Leakdetect_cluster.Dendrogram.height subtree)
+            (String.concat ", " hosts))
+        forest;
+      Printf.printf "\ncophenetic correlation: %.3f\n"
+        (Leakdetect_cluster.Cophenetic.correlation matrix tree);
+      match newick with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Leakdetect_cluster.Dendrogram.to_newick
+             ~label:(fun i ->
+               Printf.sprintf "p%d_%s" i
+                 (String.map
+                    (fun c -> if c = '.' then '_' else c)
+                    sample.(i).Packet.dst.Packet.host))
+             tree);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let n_small =
+    Arg.(value & opt int 60
+        & info [ "n"; "sample" ] ~docv:"N" ~doc:"Packets to sample and cluster.")
+  in
+  let newick =
+    Arg.(value
+        & opt (some string) None
+        & info [ "newick" ] ~docv:"FILE" ~doc:"Write the dendrogram in Newick format.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Cluster a sample of suspicious packets and report the dendrogram.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ n_small $ compressor_t
+          $ linkage_t $ cut_t $ newick)
+
+(* --- detect --- *)
+
+let detect_cmd =
+  let run seed scale trace sig_file verbose =
+    let records = load_records ~trace ~seed ~scale in
+    let signatures =
+      match Signature_io.load sig_file with
+      | Ok s -> s
+      | Error e -> exit_err "cannot load %s: %s" sig_file e
+    in
+    let detector = Detector.create signatures in
+    let detected = ref 0 in
+    Array.iter
+      (fun r ->
+        match Detector.first_match detector r.Trace.packet with
+        | Some s ->
+          incr detected;
+          if verbose then
+            Printf.printf "app %d -> %s matched signature #%d\n" r.Trace.app_id
+              r.Trace.packet.Packet.dst.Packet.host s.Signature.id
+        | None -> ())
+      records;
+    Printf.printf "%d of %d packets matched %d signatures\n" !detected
+      (Array.length records) (List.length signatures)
+  in
+  let sig_file =
+    Arg.(required
+        & opt (some string) None
+        & info [ "signatures" ] ~docv:"FILE" ~doc:"Signature file from `sign`.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each matching packet.")
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Apply a signature file to a trace.")
+    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ verbose)
+
+(* --- evaluate --- *)
+
+let evaluate_cmd =
+  let run () seed scale trace ns compressor linkage cut bayes =
+    let records = load_records ~trace ~seed ~scale in
+    let suspicious, normal = split_records records in
+    Printf.printf "dataset: %d suspicious, %d normal%s\n\n" (Array.length suspicious)
+      (Array.length normal)
+      (if bayes then " (probabilistic signatures)" else "");
+    let config = config_of ~compressor ~linkage ~cut in
+    let rows =
+      List.map
+        (fun n ->
+          let rng = Prng.create (seed + n) in
+          if bayes then begin
+            let o = Leakdetect_core.Bayes.run ~config ~rng ~n ~suspicious ~normal () in
+            Metrics.to_row o.Leakdetect_core.Bayes.metrics
+            @ [ string_of_int o.Leakdetect_core.Bayes.n_tokens ^ " tokens" ]
+          end
+          else begin
+            let o = Pipeline.run ~config ~rng ~n ~suspicious ~normal () in
+            Metrics.to_row o.Pipeline.metrics
+            @ [ string_of_int (List.length o.Pipeline.signatures) ^ " sigs" ]
+          end)
+        ns
+    in
+    print_string
+      (Table.render
+         ~columns:
+           [ ("N", Table.Right); ("TP%", Table.Right); ("FN%", Table.Right);
+             ("FP%", Table.Right); ("detail", Table.Right) ]
+         rows)
+  in
+  let ns =
+    Arg.(value
+        & opt (list int) [ 100; 200; 300; 400; 500 ]
+        & info [ "ns" ] ~docv:"N1,N2,..." ~doc:"Sample sizes to evaluate (Figure 4 sweep).")
+  in
+  let bayes =
+    Arg.(value & flag
+        & info [ "bayes" ]
+            ~doc:"Use probabilistic (Bayes) signatures instead of conjunctions.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Run the full pipeline and report the paper's TP/FN/FP metrics.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ ns $ compressor_t $ linkage_t $ cut_t $ bayes)
+
+(* --- monitor --- *)
+
+let monitor_cmd =
+  let run seed scale trace sig_file limit =
+    let records = load_records ~trace ~seed ~scale in
+    let signatures =
+      match Signature_io.load sig_file with
+      | Ok s -> s
+      | Error e -> exit_err "cannot load %s: %s" sig_file e
+    in
+    let monitor = Leakdetect_monitor.Flow_control.create signatures in
+    let n = min limit (Array.length records) in
+    for i = 0 to n - 1 do
+      let r = records.(i) in
+      ignore
+        (Leakdetect_monitor.Flow_control.process monitor ~app_id:r.Trace.app_id
+           r.Trace.packet)
+    done;
+    let allowed, blocked, prompted = Leakdetect_monitor.Flow_control.stats monitor in
+    Printf.printf "processed %d packets: %d allowed, %d blocked, %d prompted\n\n" n allowed
+      blocked prompted;
+    print_string (Leakdetect_monitor.Report.render ~limit:15 monitor)
+  in
+  let sig_file =
+    Arg.(required
+        & opt (some string) None
+        & info [ "signatures" ] ~docv:"FILE" ~doc:"Signature file from `sign`.")
+  in
+  let limit =
+    Arg.(value & opt int 10_000
+        & info [ "limit" ] ~docv:"N" ~doc:"Packets to replay through the monitor.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay a trace through the on-device information-flow-control application.")
+    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ limit)
+
+let main_cmd =
+  let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
+  Cmd.group
+    (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
+    [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
+      monitor_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/ad_module_study.mli:

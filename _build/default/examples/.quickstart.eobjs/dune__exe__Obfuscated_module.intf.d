@@ -1,0 +1,1 @@
+examples/obfuscated_module.mli:

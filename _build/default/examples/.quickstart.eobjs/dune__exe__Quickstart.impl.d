@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Leakdetect_android Leakdetect_core Leakdetect_util List Printf

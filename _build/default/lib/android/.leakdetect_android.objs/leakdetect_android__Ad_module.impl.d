@@ -1,0 +1,1 @@
+lib/android/ad_module.ml: Array Char Device Hashtbl Leakdetect_core Leakdetect_http Leakdetect_net Leakdetect_util List Permissions Printf String

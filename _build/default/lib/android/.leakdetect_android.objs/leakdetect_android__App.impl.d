@@ -1,0 +1,1 @@
+lib/android/app.ml: Ad_module Char Device Leakdetect_http Leakdetect_net Leakdetect_util List Permissions Printf String

@@ -1,0 +1,1 @@
+lib/android/app.mli: Ad_module Device Leakdetect_http Leakdetect_net Leakdetect_util Permissions

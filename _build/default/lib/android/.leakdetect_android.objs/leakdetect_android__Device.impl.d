@@ -1,0 +1,1 @@
+lib/android/device.ml: Char Leakdetect_core Leakdetect_crypto Leakdetect_util List String

@@ -1,0 +1,1 @@
+lib/android/device.mli: Leakdetect_core Leakdetect_util

@@ -1,0 +1,1 @@
+lib/android/obfuscation.ml: Char Device Leakdetect_core Leakdetect_http Leakdetect_net Leakdetect_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/android/permissions.ml: Array Leakdetect_core Leakdetect_util List String

@@ -1,0 +1,1 @@
+lib/android/permissions.mli: Leakdetect_core Leakdetect_util

@@ -1,0 +1,1 @@
+lib/android/trace_stats.ml: App Array Hashtbl Int Leakdetect_core Leakdetect_http Leakdetect_net Leakdetect_util List Map Option Permissions Set String Workload

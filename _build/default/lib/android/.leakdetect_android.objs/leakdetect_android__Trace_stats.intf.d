@@ -1,0 +1,1 @@
+lib/android/trace_stats.mli: Leakdetect_core Workload

@@ -1,0 +1,1 @@
+lib/android/workload.ml: Ad_module App Array Device Float Leakdetect_core Leakdetect_http Leakdetect_net Leakdetect_util List Logs Permissions Printf

@@ -1,0 +1,1 @@
+lib/android/workload.mli: App Device Leakdetect_core Leakdetect_http

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Array Hashtbl Leakdetect_core Leakdetect_http Leakdetect_text Leakdetect_util List

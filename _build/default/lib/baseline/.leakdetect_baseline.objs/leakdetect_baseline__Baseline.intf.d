@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Leakdetect_core Leakdetect_http Leakdetect_util

@@ -1,0 +1,1 @@
+lib/baseline/hamsa.ml: Array Bytes Leakdetect_core Leakdetect_http Leakdetect_text Leakdetect_util List Seq

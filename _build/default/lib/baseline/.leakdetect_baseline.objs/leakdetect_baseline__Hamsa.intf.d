@@ -1,0 +1,1 @@
+lib/baseline/hamsa.mli: Leakdetect_core Leakdetect_http Leakdetect_util

@@ -1,0 +1,139 @@
+module Packet = Leakdetect_http.Packet
+module Signature = Leakdetect_core.Signature
+module Metrics = Leakdetect_core.Metrics
+module Aho_corasick = Leakdetect_text.Aho_corasick
+module Sample = Leakdetect_util.Sample
+
+type config = {
+  u0 : float;
+  ur : float;
+  max_tokens : int;
+  max_signatures : int;
+  min_coverage : int;
+}
+
+let default = { u0 = 0.04; ur = 0.5; max_tokens = 8; max_signatures = 32; min_coverage = 2 }
+
+(* Occurrence bitmaps: for each token, which packets contain it. *)
+let occurrence_bitmaps tokens packets =
+  match tokens with
+  | [] -> [||]
+  | tokens ->
+    let automaton = Aho_corasick.build tokens in
+    let n_tokens = List.length tokens in
+    let bitmaps = Array.init n_tokens (fun _ -> Bytes.make (Array.length packets) '\000') in
+    Array.iteri
+      (fun pi p ->
+        let m = Aho_corasick.matched_set automaton (Packet.content_string p) in
+        Array.iteri (fun ti hit -> if hit then Bytes.set bitmaps.(ti) pi '\001') m)
+      packets;
+    bitmaps
+
+let count_and bitmap selector packets_len =
+  let c = ref 0 in
+  for i = 0 to packets_len - 1 do
+    if Bytes.get bitmap i = '\001' && selector i then incr c
+  done;
+  !c
+
+let generate ?(config = default) ~tokens ~suspicious ~benign () =
+  let tokens = List.filter (fun t -> t <> "" && not (Signature.is_boilerplate_token t)) tokens in
+  let tokens_arr = Array.of_list tokens in
+  if Array.length tokens_arr = 0 then []
+  else begin
+    let susp_maps = occurrence_bitmaps tokens suspicious in
+    let ben_maps = occurrence_bitmaps tokens benign in
+    let n_susp = Array.length suspicious and n_ben = Array.length benign in
+    let covered = Bytes.make n_susp '\000' in
+    let signatures = ref [] in
+    let next_id = ref 0 in
+    let continue = ref true in
+    while !continue && !next_id < config.max_signatures do
+      (* Grow one signature over the uncovered pool. *)
+      let in_sig = Array.make (Array.length tokens_arr) false in
+      (* susp_sel.(i): packet i is uncovered and matches all chosen tokens. *)
+      let susp_sel = Bytes.init n_susp (fun i -> if Bytes.get covered i = '\000' then '\001' else '\000') in
+      let ben_sel = Bytes.make n_ben '\001' in
+      let count_sel sel = Bytes.fold_left (fun acc c -> if c = '\001' then acc + 1 else acc) 0 sel in
+      let rec grow k =
+        if k >= config.max_tokens then ()
+        else begin
+          let bound = config.u0 *. (config.ur ** float_of_int k) in
+          let best = ref (-1) and best_cov = ref 0 in
+          Array.iteri
+            (fun ti _ ->
+              if not in_sig.(ti) then begin
+                let cov =
+                  count_and susp_maps.(ti) (fun i -> Bytes.get susp_sel i = '\001') n_susp
+                in
+                let fp =
+                  count_and ben_maps.(ti) (fun i -> Bytes.get ben_sel i = '\001') n_ben
+                in
+                let fp_rate = if n_ben = 0 then 0. else float_of_int fp /. float_of_int n_ben in
+                if fp_rate <= bound && cov > !best_cov then begin
+                  best := ti;
+                  best_cov := cov
+                end
+              end)
+            tokens_arr;
+          if !best >= 0 && !best_cov >= config.min_coverage then begin
+            in_sig.(!best) <- true;
+            for i = 0 to n_susp - 1 do
+              if Bytes.get susp_maps.(!best) i = '\000' then Bytes.set susp_sel i '\000'
+            done;
+            for i = 0 to n_ben - 1 do
+              if Bytes.get ben_maps.(!best) i = '\000' then Bytes.set ben_sel i '\000'
+            done;
+            (* Stop early once the signature is benign-clean. *)
+            if count_sel ben_sel > 0 then grow (k + 1)
+          end
+        end
+      in
+      grow 0;
+      let chosen =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun (ti, chosen) -> if chosen then Some tokens_arr.(ti) else None)
+                (Array.to_seqi in_sig)))
+      in
+      let final_cov = count_sel susp_sel in
+      if chosen = [] || final_cov < config.min_coverage then continue := false
+      else begin
+        signatures :=
+          Signature.make ~id:!next_id ~mode:Signature.Conjunction
+            ~cluster_size:final_cov chosen
+          :: !signatures;
+        incr next_id;
+        (* Mark the newly covered packets. *)
+        for i = 0 to n_susp - 1 do
+          if Bytes.get susp_sel i = '\001' then Bytes.set covered i '\001'
+        done
+      end
+    done;
+    List.rev !signatures
+  end
+
+let evaluate ?(config = default) ~rng ~n ?(benign_train = 2000) ~suspicious ~normal () =
+  let sample = Sample.without_replacement rng n suspicious in
+  let n = Array.length sample in
+  let dist = Leakdetect_core.Distance.create () in
+  let gen =
+    Leakdetect_core.Siggen.generate Leakdetect_core.Siggen.default dist sample
+  in
+  let clusters =
+    List.map (fun members -> List.map (fun i -> sample.(i)) members)
+      gen.Leakdetect_core.Siggen.clusters
+  in
+  let tokens = Leakdetect_core.Bayes.candidate_tokens clusters in
+  let benign = Sample.without_replacement rng benign_train normal in
+  let signatures = generate ~config ~tokens ~suspicious:sample ~benign () in
+  let detector = Leakdetect_core.Detector.create signatures in
+  Metrics.compute
+    {
+      Metrics.n;
+      sensitive_total = Array.length suspicious;
+      sensitive_detected = Leakdetect_core.Detector.count_detected detector suspicious;
+      normal_total = Array.length normal;
+      normal_detected = Leakdetect_core.Detector.count_detected detector normal;
+    }

@@ -1,0 +1,1 @@
+lib/cluster/agglomerative.ml: Array Dendrogram Dist_matrix Float List Option

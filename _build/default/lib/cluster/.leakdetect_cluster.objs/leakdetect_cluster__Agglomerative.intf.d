@@ -1,0 +1,1 @@
+lib/cluster/agglomerative.mli: Dendrogram Dist_matrix

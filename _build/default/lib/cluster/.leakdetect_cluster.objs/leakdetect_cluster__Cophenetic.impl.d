@@ -1,0 +1,1 @@
+lib/cluster/cophenetic.ml: Array Dendrogram Dist_matrix Fun List

@@ -1,0 +1,1 @@
+lib/cluster/cophenetic.mli: Dendrogram Dist_matrix

@@ -1,0 +1,1 @@
+lib/cluster/dbscan.ml: Array Dist_matrix List Queue

@@ -1,0 +1,1 @@
+lib/cluster/dbscan.mli: Dist_matrix

@@ -1,0 +1,1 @@
+lib/cluster/dendrogram.ml: Buffer Float Format List Printf

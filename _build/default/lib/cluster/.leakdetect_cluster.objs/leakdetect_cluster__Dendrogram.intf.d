@@ -1,0 +1,1 @@
+lib/cluster/dendrogram.mli: Format

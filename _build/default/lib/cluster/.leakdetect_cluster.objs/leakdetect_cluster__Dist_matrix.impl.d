@@ -1,0 +1,1 @@
+lib/cluster/dist_matrix.ml: Array Float

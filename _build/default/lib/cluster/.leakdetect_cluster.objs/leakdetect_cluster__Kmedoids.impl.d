@@ -1,0 +1,1 @@
+lib/cluster/kmedoids.ml: Array Dist_matrix Float Int List

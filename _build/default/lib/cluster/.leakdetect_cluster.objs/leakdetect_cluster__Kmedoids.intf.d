@@ -1,0 +1,1 @@
+lib/cluster/kmedoids.mli: Dist_matrix Leakdetect_util

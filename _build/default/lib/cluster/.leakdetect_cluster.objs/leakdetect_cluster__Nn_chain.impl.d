@@ -1,0 +1,1 @@
+lib/cluster/nn_chain.ml: Agglomerative Array Dendrogram Dist_matrix Float Option

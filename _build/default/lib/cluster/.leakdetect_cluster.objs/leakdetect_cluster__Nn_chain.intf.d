@@ -1,0 +1,1 @@
+lib/cluster/nn_chain.mli: Agglomerative Dendrogram Dist_matrix

@@ -1,0 +1,46 @@
+let matrix tree =
+  let members = Dendrogram.members tree in
+  let n = List.length members in
+  if members <> List.init n Fun.id then
+    invalid_arg "Cophenetic.matrix: leaves must be 0..n-1";
+  let m = Dist_matrix.create n in
+  (* Post-order walk: the LCA of any pair split across a node's children is
+     that node, so fill their cophenetic distance with its height. *)
+  let rec walk = function
+    | Dendrogram.Leaf i -> [ i ]
+    | Dendrogram.Node { left; right; height; _ } ->
+      let ls = walk left and rs = walk right in
+      List.iter (fun i -> List.iter (fun j -> Dist_matrix.set m i j height) rs) ls;
+      ls @ rs
+  in
+  ignore (walk tree);
+  m
+
+let correlation original tree =
+  let coph = matrix tree in
+  let n = Dist_matrix.size original in
+  if n <> Dist_matrix.size coph then
+    invalid_arg "Cophenetic.correlation: size mismatch";
+  let pairs = n * (n - 1) / 2 in
+  if pairs < 2 then 0.
+  else begin
+    let xs = Array.make pairs 0. and ys = Array.make pairs 0. in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        xs.(!k) <- Dist_matrix.get original i j;
+        ys.(!k) <- Dist_matrix.get coph i j;
+        incr k
+      done
+    done;
+    let mean a = Array.fold_left ( +. ) 0. a /. float_of_int pairs in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to pairs - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+  end

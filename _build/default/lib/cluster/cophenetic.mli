@@ -1,0 +1,15 @@
+(** Cophenetic analysis: how faithfully a dendrogram preserves the original
+    pairwise distances.  The cophenetic distance between two items is the
+    height of their lowest common ancestor; the cophenetic correlation
+    coefficient (Pearson correlation between original and cophenetic
+    distances) is the standard figure of merit for a hierarchical
+    clustering — reported by the benchmark for each linkage. *)
+
+val matrix : Dendrogram.t -> Dist_matrix.t
+(** Cophenetic distances over the dendrogram's leaves.  Leaf indices must
+    be [0 .. n-1] (as produced by the clustering algorithms).
+    @raise Invalid_argument otherwise. *)
+
+val correlation : Dist_matrix.t -> Dendrogram.t -> float
+(** Cophenetic correlation coefficient against the original matrix; 0 when
+    either side has zero variance (e.g. fewer than 3 items). *)

@@ -1,0 +1,49 @@
+type result = { clusters : int list list; noise : int list }
+
+let cluster ~eps ~min_points m =
+  if eps < 0. then invalid_arg "Dbscan.cluster: negative eps";
+  if min_points < 1 then invalid_arg "Dbscan.cluster: min_points must be >= 1";
+  let n = Dist_matrix.size m in
+  let neighbours i =
+    let out = ref [] in
+    for j = n - 1 downto 0 do
+      if Dist_matrix.get m i j <= eps then out := j :: !out
+    done;
+    !out
+  in
+  let labels = Array.make n `Unvisited in
+  let clusters = ref [] in
+  for i = 0 to n - 1 do
+    if labels.(i) = `Unvisited then begin
+      let nbrs = neighbours i in
+      if List.length nbrs < min_points then labels.(i) <- `Noise
+      else begin
+        (* Grow a new cluster from core point [i] by BFS over core points. *)
+        let members = ref [] in
+        let queue = Queue.create () in
+        Queue.add i queue;
+        labels.(i) <- `Clustered;
+        members := i :: !members;
+        while not (Queue.is_empty queue) do
+          let p = Queue.pop queue in
+          let p_nbrs = neighbours p in
+          if List.length p_nbrs >= min_points then
+            List.iter
+              (fun q ->
+                match labels.(q) with
+                | `Clustered -> ()
+                | `Unvisited | `Noise ->
+                  labels.(q) <- `Clustered;
+                  members := q :: !members;
+                  Queue.add q queue)
+              p_nbrs
+        done;
+        clusters := List.sort compare !members :: !clusters
+      end
+    end
+  done;
+  let noise = ref [] in
+  for i = n - 1 downto 0 do
+    if labels.(i) = `Noise then noise := i :: !noise
+  done;
+  { clusters = List.rev !clusters; noise = !noise }

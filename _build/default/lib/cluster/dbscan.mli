@@ -1,0 +1,18 @@
+(** DBSCAN over a precomputed distance matrix.
+
+    Density-based alternative for the clustering ablation: it discovers the
+    number of clusters itself (like the dendrogram cut) and additionally
+    marks sparse packets as noise instead of forcing them into clusters —
+    which maps nicely onto signature generation, where singleton "clusters"
+    only ever produce exact-match signatures. *)
+
+type result = {
+  clusters : int list list;  (** Members per cluster, ascending. *)
+  noise : int list;  (** Items in no cluster. *)
+}
+
+val cluster : eps:float -> min_points:int -> Dist_matrix.t -> result
+(** Classic DBSCAN: a core point has at least [min_points] neighbours
+    (including itself) within [eps]; clusters are the transitive closure of
+    core points plus their border points.
+    @raise Invalid_argument when [eps < 0] or [min_points < 1]. *)

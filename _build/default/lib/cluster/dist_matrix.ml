@@ -1,0 +1,44 @@
+type t = { n : int; cells : float array }
+
+let npairs n = n * (n - 1) / 2
+
+let create n =
+  if n < 0 then invalid_arg "Dist_matrix.create: negative size";
+  { n; cells = Array.make (max (npairs n) 1) 0. }
+
+let index t i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  if i < 0 || j >= t.n then invalid_arg "Dist_matrix: index out of range";
+  (i * t.n) - (i * (i + 1) / 2) + (j - i - 1)
+
+let size t = t.n
+
+let get t i j = if i = j then 0. else t.cells.(index t i j)
+
+let set t i j v =
+  if i = j then invalid_arg "Dist_matrix.set: diagonal is fixed at zero";
+  t.cells.(index t i j) <- v
+
+let build n f =
+  let t = create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      set t i j (f i j)
+    done
+  done;
+  t
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      acc := f !acc (get t i j)
+    done
+  done;
+  !acc
+
+let max_value t = fold Float.max 0. t
+
+let mean_value t =
+  let pairs = npairs t.n in
+  if pairs = 0 then 0. else fold ( +. ) 0. t /. float_of_int pairs

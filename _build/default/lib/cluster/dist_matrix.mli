@@ -1,0 +1,23 @@
+(** Symmetric pairwise-distance matrix with zero diagonal, stored as the
+    condensed upper triangle.  Holds the [d_pkt] values the clustering stage
+    consumes (Sec. IV-D). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the all-zero matrix over [n] items. *)
+
+val build : int -> (int -> int -> float) -> t
+(** [build n f] evaluates [f i j] once per unordered pair [i < j]. *)
+
+val size : t -> int
+val get : t -> int -> int -> float
+(** [get t i j] for any [i, j] in range; [get t i i = 0]. *)
+
+val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument when [i = j]. *)
+
+val max_value : t -> float
+(** Largest off-diagonal entry; 0 for matrices with fewer than 2 items. *)
+
+val mean_value : t -> float

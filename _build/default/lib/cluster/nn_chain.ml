@@ -1,0 +1,97 @@
+(* Nearest-neighbor chain: grow a chain a -> nn(a) -> nn(nn(a)) ... until two
+   clusters are mutual nearest neighbors, merge them, and continue from the
+   chain's remainder.  Correct for reducible linkages because merging two
+   mutual nearest neighbors can never create a closer pair involving them. *)
+
+let update = fun linkage ~ni ~nj dki dkj ->
+  match linkage with
+  | Agglomerative.Group_average ->
+    let ni = float_of_int ni and nj = float_of_int nj in
+    ((ni *. dki) +. (nj *. dkj)) /. (ni +. nj)
+  | Agglomerative.Single -> Float.min dki dkj
+  | Agglomerative.Complete -> Float.max dki dkj
+
+type state = {
+  dist : float array array;
+  active : bool array;
+  sizes : int array;
+  trees : Dendrogram.t option array;
+}
+
+let nearest st exclude i =
+  let n = Array.length st.active in
+  let best = ref (-1) and best_d = ref infinity in
+  for k = 0 to n - 1 do
+    if st.active.(k) && k <> i && k <> exclude && st.dist.(i).(k) < !best_d then begin
+      best := k;
+      best_d := st.dist.(i).(k)
+    end
+  done;
+  (!best, !best_d)
+
+let cluster ?(linkage = Agglomerative.Group_average) m =
+  let n = Dist_matrix.size m in
+  if n = 0 then None
+  else begin
+    let st =
+      {
+        dist = Array.init n (fun i -> Array.init n (fun j -> Dist_matrix.get m i j));
+        active = Array.make n true;
+        sizes = Array.make n 1;
+        trees = Array.init n (fun i -> Some (Dendrogram.Leaf i));
+      }
+    in
+    let remaining = ref n in
+    let chain = ref [] in
+    let any_active () =
+      let rec find i = if st.active.(i) then i else find (i + 1) in
+      find 0
+    in
+    while !remaining > 1 do
+      (match !chain with
+      | [] -> chain := [ any_active () ]
+      | top :: _ when not st.active.(top) ->
+        (* top was merged away in a previous step; restart *)
+        chain := [ any_active () ]
+      | _ -> ());
+      (* Extend the chain until we find mutual nearest neighbors. *)
+      let merged = ref false in
+      while not !merged do
+        match !chain with
+        | [] -> chain := [ any_active () ]
+        | top :: rest ->
+          let prev = match rest with [] -> -1 | p :: _ -> p in
+          let next, d_next = nearest st (-1) top in
+          assert (next >= 0);
+          (* Prefer returning to the chain's predecessor on ties: then top
+             and prev are mutual nearest neighbors. *)
+          let next, d_next =
+            if prev >= 0 && st.dist.(top).(prev) <= d_next then (prev, st.dist.(top).(prev))
+            else (next, d_next)
+          in
+          if next = prev then begin
+            (* Mutual nearest neighbors: merge top and prev. *)
+            let i = top and j = prev in
+            let ti = Option.get st.trees.(i) and tj = Option.get st.trees.(j) in
+            st.trees.(i) <- Some (Dendrogram.node ti tj d_next);
+            st.trees.(j) <- None;
+            let ni = st.sizes.(i) and nj = st.sizes.(j) in
+            st.sizes.(i) <- ni + nj;
+            st.active.(j) <- false;
+            for k = 0 to n - 1 do
+              if st.active.(k) && k <> i then begin
+                let d = update linkage ~ni ~nj st.dist.(k).(i) st.dist.(k).(j) in
+                st.dist.(k).(i) <- d;
+                st.dist.(i).(k) <- d
+              end
+            done;
+            decr remaining;
+            (* Drop top and prev from the chain; continue from the rest. *)
+            chain := (match rest with [] -> [] | _ :: tail -> tail);
+            merged := true
+          end
+          else chain := next :: !chain
+      done
+    done;
+    st.trees.(any_active ())
+  end

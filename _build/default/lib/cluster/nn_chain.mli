@@ -1,0 +1,14 @@
+(** Nearest-neighbor-chain agglomerative clustering.
+
+    Produces the same hierarchy as {!Agglomerative.cluster} for {e reducible}
+    linkages (group-average, single, complete — all three here) in O(n^2)
+    time instead of the naive O(n^3) global-minimum scan.  The paper's N is
+    small enough for either; this implementation exists so the library
+    scales to larger samples, and the test suite uses the naive version as
+    its oracle. *)
+
+val cluster :
+  ?linkage:Agglomerative.linkage -> Dist_matrix.t -> Dendrogram.t option
+(** Same contract as {!Agglomerative.cluster}.  The dendrogram can differ
+    from the naive algorithm's in tie-breaking and child order, but the
+    multiset of merge heights is identical for reducible linkages. *)

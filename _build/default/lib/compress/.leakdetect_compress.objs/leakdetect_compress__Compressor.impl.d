@@ -1,0 +1,1 @@
+lib/compress/compressor.ml: Float Hashtbl Huffman Lz77 Lzw String

@@ -1,0 +1,1 @@
+lib/compress/lz77.ml: Array Bitio Buffer Char List String

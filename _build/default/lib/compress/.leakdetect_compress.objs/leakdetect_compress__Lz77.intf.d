@@ -1,0 +1,1 @@
+lib/compress/lz77.mli:

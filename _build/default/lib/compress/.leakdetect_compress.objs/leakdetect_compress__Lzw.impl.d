@@ -1,0 +1,1 @@
+lib/compress/lzw.ml: Bitio Buffer Char Hashtbl List String

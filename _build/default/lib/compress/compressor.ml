@@ -1,0 +1,67 @@
+type algorithm = Lz77 | Lzw | Huffman
+
+let all = [ Lz77; Lzw; Huffman ]
+
+let name = function Lz77 -> "lz77" | Lzw -> "lzw" | Huffman -> "huffman"
+
+let of_name = function
+  | "lz77" -> Some Lz77
+  | "lzw" -> Some Lzw
+  | "huffman" -> Some Huffman
+  | _ -> None
+
+let compress = function
+  | Lz77 -> Lz77.compress
+  | Lzw -> Lzw.compress
+  | Huffman -> Huffman.compress
+
+let decompress = function
+  | Lz77 -> Lz77.decompress
+  | Lzw -> Lzw.decompress
+  | Huffman -> Huffman.decompress
+
+let length_bits = function
+  | Lz77 -> Lz77.compressed_length_bits
+  | Lzw -> Lzw.compressed_length_bits
+  | Huffman -> Huffman.compressed_length_bits
+
+let algo_length_bits = length_bits
+
+module Cache = struct
+  type t = {
+    algo : algorithm;
+    table : (string, int) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create algo = { algo; table = Hashtbl.create 1024; hits = 0; misses = 0 }
+  let algorithm t = t.algo
+
+  let length_bits t s =
+    match Hashtbl.find_opt t.table s with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      let v = algo_length_bits t.algo s in
+      Hashtbl.add t.table s v;
+      v
+
+  let ncd t x y =
+    if String.length x = 0 && String.length y = 0 then 0.
+    else begin
+      let cx = length_bits t x and cy = length_bits t y in
+      (* C(xy) and C(yx) differ slightly; canonical ordering keeps the
+         distance exactly symmetric.  The pair length is not cached — it is
+         pair-specific. *)
+      let x, y = if String.compare x y <= 0 then (x, y) else (y, x) in
+      let cxy = algo_length_bits t.algo (x ^ y) in
+      let lo = min cx cy and hi = max cx cy in
+      let d = float_of_int (cxy - lo) /. float_of_int hi in
+      Float.min 1. (Float.max 0. d)
+    end
+
+  let stats t = (t.hits, t.misses)
+end

@@ -1,0 +1,40 @@
+(** Unified compressor interface.
+
+    The normalized compression distance (Sec. IV-C) treats the compressor as
+    a parameter [C].  The paper does not name its compressor; LZ77 is the
+    default here (same family as the zlib/gzip coders normally used for NCD)
+    and LZW / Huffman are kept for the ablation benchmark. *)
+
+type algorithm = Lz77 | Lzw | Huffman
+
+val all : algorithm list
+val name : algorithm -> string
+val of_name : string -> algorithm option
+
+val compress : algorithm -> string -> string
+val decompress : algorithm -> string -> string
+
+val length_bits : algorithm -> string -> int
+(** [length_bits algo s] is [C(s)] in bits — the quantity fed to the NCD
+    formula.  Bits rather than bytes: packets are short and byte rounding
+    would quantize the distance visibly. *)
+
+module Cache : sig
+  (** Memoizes [C(x)] per input string.  The clustering stage evaluates
+      C(x), C(y) and C(xy) for every pair in an NxN matrix; caching the
+      singleton lengths removes half the work. *)
+
+  type t
+
+  val create : algorithm -> t
+  val algorithm : t -> algorithm
+  val length_bits : t -> string -> int
+  val ncd : t -> string -> string -> float
+  (** [ncd t x y] is [(C(xy) - min(C(x),C(y))) / max(C(x),C(y))], clamped to
+      [\[0, 1\]]; by convention 0 when both strings are empty.  The
+      concatenation is formed in canonical (lexicographic) order so the
+      distance is exactly symmetric. *)
+
+  val stats : t -> int * int
+  (** (hits, misses) — exposed for tests and the benchmark report. *)
+end

@@ -1,0 +1,120 @@
+let max_code_len = 31
+
+(* Build code lengths by the standard two-queue merge over a sorted leaf
+   list; inputs here are small enough that a simple sorted-list priority
+   queue is fine. *)
+let code_lengths s =
+  let freq = Array.make 256 0 in
+  String.iter (fun c -> freq.(Char.code c) <- freq.(Char.code c) + 1) s;
+  let lengths = Array.make 256 0 in
+  let leaves =
+    Array.to_list freq
+    |> List.mapi (fun sym f -> (f, `Leaf sym))
+    |> List.filter (fun (f, _) -> f > 0)
+  in
+  match leaves with
+  | [] -> lengths
+  | [ (_, `Leaf sym) ] ->
+    (* A single distinct symbol still needs one bit per occurrence. *)
+    lengths.(sym) <- 1;
+    lengths
+  | _ ->
+    let module Pq = struct
+      type tree = Leaf of int | Node of tree * tree
+
+      let rec deepen lengths depth = function
+        | Leaf sym -> lengths.(sym) <- min depth max_code_len
+        | Node (l, r) ->
+          deepen lengths (depth + 1) l;
+          deepen lengths (depth + 1) r
+    end in
+    let heap =
+      List.map (fun (f, `Leaf sym) -> (f, Pq.Leaf sym)) leaves
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let rec insert x = function
+      | [] -> [ x ]
+      | y :: rest -> if fst x <= fst y then x :: y :: rest else y :: insert x rest
+    in
+    let rec merge = function
+      | [] -> assert false
+      | [ (_, t) ] -> t
+      | (f1, t1) :: (f2, t2) :: rest -> merge (insert (f1 + f2, Pq.Node (t1, t2)) rest)
+    in
+    Pq.deepen lengths 0 (merge heap);
+    lengths
+
+(* Canonical codes from lengths: symbols sorted by (length, value). *)
+let canonical_codes lengths =
+  let codes = Array.make 256 0 in
+  let by_len =
+    List.init 256 (fun sym -> sym)
+    |> List.filter (fun sym -> lengths.(sym) > 0)
+    |> List.sort (fun a b ->
+           match compare lengths.(a) lengths.(b) with 0 -> compare a b | c -> c)
+  in
+  let code = ref 0 and last_len = ref 0 in
+  List.iter
+    (fun sym ->
+      code := !code lsl (lengths.(sym) - !last_len);
+      last_len := lengths.(sym);
+      codes.(sym) <- !code;
+      incr code)
+    by_len;
+  codes
+
+let header_bits = 32 + (256 * 5)
+
+let payload_bits lengths s =
+  let total = ref 0 in
+  String.iter (fun c -> total := !total + lengths.(Char.code c)) s;
+  !total
+
+let compressed_length_bits s =
+  header_bits + payload_bits (code_lengths s) s
+
+let compress s =
+  let lengths = code_lengths s in
+  let codes = canonical_codes lengths in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits w (String.length s) 32;
+  Array.iter (fun len -> Bitio.Writer.add_bits w len 5) lengths;
+  String.iter
+    (fun c ->
+      let sym = Char.code c in
+      let len = lengths.(sym) and code = codes.(sym) in
+      (* Canonical codes are MSB-first by construction. *)
+      for i = len - 1 downto 0 do
+        Bitio.Writer.add_bit w ((code lsr i) land 1 = 1)
+      done)
+    s;
+  Bitio.Writer.contents w
+
+let decompress data =
+  let r = Bitio.Reader.of_string data in
+  try
+    let total = Bitio.Reader.read_bits r 32 in
+    let lengths = Array.init 256 (fun _ -> Bitio.Reader.read_bits r 5) in
+    let codes = canonical_codes lengths in
+    (* Decode bit-by-bit against the canonical table; table is tiny. *)
+    let entries =
+      List.init 256 (fun sym -> sym)
+      |> List.filter (fun sym -> lengths.(sym) > 0)
+      |> List.map (fun sym -> (lengths.(sym), codes.(sym), sym))
+    in
+    let out = Buffer.create total in
+    while Buffer.length out < total do
+      let rec walk len acc =
+        if len > max_code_len then invalid_arg "Huffman.decompress: bad code";
+        let acc = (acc lsl 1) lor (if Bitio.Reader.read_bit r then 1 else 0) in
+        let len = len + 1 in
+        match
+          List.find_opt (fun (l, c, _) -> l = len && c = acc) entries
+        with
+        | Some (_, _, sym) -> sym
+        | None -> walk len acc
+      in
+      Buffer.add_char out (Char.chr (walk 0 0))
+    done;
+    Buffer.contents out
+  with Bitio.Reader.End_of_input -> invalid_arg "Huffman.decompress: truncated stream"

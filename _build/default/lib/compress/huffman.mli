@@ -1,0 +1,16 @@
+(** Order-0 canonical Huffman coding.
+
+    Included as the weakest compressor in the NCD ablation: a memoryless
+    coder cannot see the shared structure between two concatenated packets,
+    so NCD built on it degrades — the benchmark quantifies by how much.
+    The stream stores a 32-bit original length, 256 five-bit code lengths,
+    then the payload bits. *)
+
+val code_lengths : string -> int array
+(** Per-byte canonical code lengths (0 for absent symbols), capped at 31. *)
+
+val compress : string -> string
+val decompress : string -> string
+(** @raise Invalid_argument on a corrupt stream. *)
+
+val compressed_length_bits : string -> int

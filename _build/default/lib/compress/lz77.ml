@@ -1,0 +1,113 @@
+let min_match = 3
+let max_match = 258
+let window_size = 32768
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+let max_chain = 64
+
+let hash3 s i =
+  let a = Char.code s.[i] and b = Char.code s.[i + 1] and c = Char.code s.[i + 2] in
+  ((a * 2654435761) lxor (b * 40503) lxor (c * 65599)) land (hash_size - 1)
+
+type token = Literal of char | Match of int * int (* distance, length *)
+
+(* Greedy parse with a hash-chain over 3-byte prefixes. *)
+let tokenize s =
+  let n = String.length s in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let match_length i j =
+    (* Length of the common run starting at candidate [j] and cursor [i]. *)
+    let limit = min max_match (n - i) in
+    let rec loop k = if k < limit && s.[j + k] = s.[i + k] then loop (k + 1) else k in
+    loop 0
+  in
+  let best_match i =
+    if i + min_match > n then None
+    else begin
+      let h = hash3 s i in
+      let best_len = ref 0 and best_pos = ref (-1) in
+      let rec walk j depth =
+        if j >= 0 && depth < max_chain then begin
+          if i - j <= window_size then begin
+            let len = match_length i j in
+            if len > !best_len then begin
+              best_len := len;
+              best_pos := j
+            end;
+            if !best_len < max_match then walk prev.(j) (depth + 1)
+          end
+        end
+      in
+      walk head.(h) 0;
+      if !best_len >= min_match then Some (i - !best_pos, !best_len) else None
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match best_match !i with
+    | Some (dist, len) ->
+      tokens := Match (dist, len) :: !tokens;
+      (* Register every covered position so later matches can point here. *)
+      for k = 0 to len - 1 do insert (!i + k) done;
+      i := !i + len
+    | None ->
+      tokens := Literal s.[!i] :: !tokens;
+      insert !i;
+      incr i)
+  done;
+  List.rev !tokens
+
+let emit writer tokens =
+  List.iter
+    (fun t ->
+      match t with
+      | Literal c ->
+        Bitio.Writer.add_bit writer false;
+        Bitio.Writer.add_bits writer (Char.code c) 8
+      | Match (dist, len) ->
+        Bitio.Writer.add_bit writer true;
+        Bitio.Writer.add_bits writer (dist - 1) 15;
+        Bitio.Writer.add_bits writer (len - min_match) 8)
+    tokens
+
+let compress s =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits w (String.length s) 32;
+  emit w (tokenize s);
+  Bitio.Writer.contents w
+
+let compressed_length_bits s =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits w (String.length s) 32;
+  emit w (tokenize s);
+  Bitio.Writer.bit_length w
+
+let decompress data =
+  let r = Bitio.Reader.of_string data in
+  try
+    let total = Bitio.Reader.read_bits r 32 in
+    let out = Buffer.create total in
+    while Buffer.length out < total do
+      if Bitio.Reader.read_bit r then begin
+        let dist = Bitio.Reader.read_bits r 15 + 1 in
+        let len = Bitio.Reader.read_bits r 8 + min_match in
+        let start = Buffer.length out - dist in
+        if start < 0 then invalid_arg "Lz77.decompress: distance before start";
+        (* Byte-at-a-time copy: overlapping matches replicate correctly. *)
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+      end
+      else Buffer.add_char out (Char.chr (Bitio.Reader.read_bits r 8))
+    done;
+    Buffer.contents out
+  with Bitio.Reader.End_of_input -> invalid_arg "Lz77.decompress: truncated stream"

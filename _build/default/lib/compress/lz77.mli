@@ -1,0 +1,23 @@
+(** LZ77 with a hash-chain match finder — the workhorse compressor behind the
+    normalized compression distance (Sec. IV-C).  The format is a simple
+    bit-packed token stream (not DEFLATE-compatible), chosen so that the
+    compressed length reflects repeated structure the same way zlib would:
+
+    - header: original length as a 32-bit little-endian bit field;
+    - literal token: a [0] bit then 8 bits of the byte;
+    - match token: a [1] bit, 15 bits of backwards distance (1-based) and
+      8 bits of [length - min_match].
+
+    Window 32 KiB, match lengths 3..258 (as in DEFLATE). *)
+
+val min_match : int
+val max_match : int
+val window_size : int
+
+val compress : string -> string
+val decompress : string -> string
+(** @raise Invalid_argument on a corrupt stream. *)
+
+val compressed_length_bits : string -> int
+(** Exact output size in bits, without materializing the padded byte
+    string. *)

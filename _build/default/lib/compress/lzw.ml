@@ -1,0 +1,103 @@
+let start_width = 9
+let max_width = 16
+let dict_limit = 1 lsl max_width
+
+(* Encoder dictionary: map from (prefix code, next byte) to code. *)
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 257) + b
+end)
+
+let encode_tokens s =
+  (* Returns the code list; each element is (code, width-at-emission). *)
+  let dict = Pair_tbl.create 4096 in
+  let next = ref 256 and width = ref start_width in
+  let out = ref [] in
+  let reset () =
+    Pair_tbl.reset dict;
+    next := 256;
+    width := start_width
+  in
+  let emit code =
+    out := (code, !width) :: !out
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  let current = ref (-1) in
+  while !i < n do
+    let c = Char.code s.[!i] in
+    if !current < 0 then current := c
+    else begin
+      match Pair_tbl.find_opt dict (!current, c) with
+      | Some code -> current := code
+      | None ->
+        emit !current;
+        Pair_tbl.add dict (!current, c) !next;
+        incr next;
+        (* Grow the code width when the next code would not fit. *)
+        if !next > 1 lsl !width && !width < max_width then incr width;
+        if !next >= dict_limit then reset ();
+        current := c
+    end;
+    incr i
+  done;
+  if !current >= 0 then emit !current;
+  List.rev !out
+
+let compress s =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits w (String.length s) 32;
+  List.iter (fun (code, width) -> Bitio.Writer.add_bits w code width) (encode_tokens s);
+  Bitio.Writer.contents w
+
+let compressed_length_bits s =
+  List.fold_left (fun acc (_, width) -> acc + width) 32 (encode_tokens s)
+
+let decompress data =
+  let r = Bitio.Reader.of_string data in
+  try
+    let total = Bitio.Reader.read_bits r 32 in
+    let out = Buffer.create total in
+    (* Decoder dictionary: code -> string. *)
+    let dict = Hashtbl.create 4096 in
+    let next = ref 256 and width = ref start_width in
+    let reset () =
+      Hashtbl.reset dict;
+      next := 256;
+      width := start_width
+    in
+    let lookup code =
+      if code < 256 then String.make 1 (Char.chr code)
+      else
+        match Hashtbl.find_opt dict code with
+        | Some s -> s
+        | None -> invalid_arg "Lzw.decompress: undefined code"
+    in
+    let prev = ref "" in
+    while Buffer.length out < total do
+      let code = Bitio.Reader.read_bits r !width in
+      let entry =
+        if code < !next && (code < 256 || Hashtbl.mem dict code) then lookup code
+        else if code = !next && !prev <> "" then
+          (* KwKwK case: the code being defined right now. *)
+          !prev ^ String.make 1 !prev.[0]
+        else invalid_arg "Lzw.decompress: invalid code"
+      in
+      Buffer.add_string out entry;
+      if !prev <> "" then begin
+        Hashtbl.add dict !next (!prev ^ String.make 1 entry.[0]);
+        incr next;
+        if !next + 1 > 1 lsl !width && !width < max_width then incr width;
+        if !next >= dict_limit - 1 then begin
+          reset ();
+          prev := "";
+          (* continue with empty prev: next code starts a fresh phrase *)
+        end
+        else prev := entry
+      end
+      else prev := entry
+    done;
+    Buffer.contents out
+  with Bitio.Reader.End_of_input -> invalid_arg "Lzw.decompress: truncated stream"

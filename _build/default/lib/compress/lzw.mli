@@ -1,0 +1,10 @@
+(** LZW with growing code widths (9..16 bits) and dictionary reset, provided
+    as an alternative compressor for the NCD ablation: the paper's distance
+    only requires {e some} real compressor, and comparing LZ77 / LZW / Huffman
+    shows how sensitive the pipeline is to that choice. *)
+
+val compress : string -> string
+val decompress : string -> string
+(** @raise Invalid_argument on a corrupt stream. *)
+
+val compressed_length_bits : string -> int

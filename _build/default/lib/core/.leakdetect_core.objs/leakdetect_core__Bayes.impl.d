@@ -1,0 +1,1 @@
+lib/core/bayes.ml: Array Distance Float Hashtbl Leakdetect_http Leakdetect_text Leakdetect_util List Metrics Pipeline Siggen Signature

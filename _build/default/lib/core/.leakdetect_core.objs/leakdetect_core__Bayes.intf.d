@@ -1,0 +1,1 @@
+lib/core/bayes.mli: Leakdetect_http Leakdetect_util Metrics Pipeline

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Array Hashtbl Leakdetect_http Leakdetect_text List Option Signature

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Leakdetect_http Signature

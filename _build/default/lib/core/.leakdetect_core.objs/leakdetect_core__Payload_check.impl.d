@@ -1,0 +1,1 @@
+lib/core/payload_check.ml: Array Leakdetect_http Leakdetect_text List Sensitive

@@ -1,0 +1,1 @@
+lib/core/payload_check.mli: Leakdetect_http Sensitive

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Detector Distance Leakdetect_compress Leakdetect_net Leakdetect_util List Logs Metrics Siggen Signature

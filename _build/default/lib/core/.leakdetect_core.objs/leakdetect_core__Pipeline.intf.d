@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Distance Leakdetect_compress Leakdetect_http Leakdetect_net Leakdetect_util Metrics Siggen Signature

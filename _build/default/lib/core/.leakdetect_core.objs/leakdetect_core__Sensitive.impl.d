@@ -1,0 +1,1 @@
+lib/core/sensitive.ml: Int Set

@@ -1,0 +1,1 @@
+lib/core/siggen.ml: Array Distance Hashtbl Leakdetect_cluster Leakdetect_http Leakdetect_text List Logs Signature

@@ -1,0 +1,1 @@
+lib/core/siggen.mli: Distance Leakdetect_cluster Leakdetect_http Signature

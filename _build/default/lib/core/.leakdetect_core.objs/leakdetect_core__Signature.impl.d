@@ -1,0 +1,1 @@
+lib/core/signature.ml: Format Leakdetect_http Leakdetect_text List String

@@ -1,0 +1,1 @@
+lib/core/signature_io.ml: Buffer Fun List Printf Signature String

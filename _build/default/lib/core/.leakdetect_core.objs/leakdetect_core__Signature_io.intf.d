@@ -1,0 +1,1 @@
+lib/core/signature_io.mli: Signature

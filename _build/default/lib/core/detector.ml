@@ -1,0 +1,92 @@
+module Packet = Leakdetect_http.Packet
+module Aho_corasick = Leakdetect_text.Aho_corasick
+
+(* One automaton over the distinct tokens of every signature: detection is
+   a single pass per packet followed by per-signature set membership.
+   Ordered signatures use the set test as a prefilter, then verify order
+   with the compiled KMP matcher. *)
+
+type entry = {
+  signature : Signature.t;
+  compiled : Signature.compiled;
+  token_ids : int array;  (* indices into the automaton's pattern list *)
+  ordered : bool;
+}
+
+type t = {
+  signatures : Signature.t list;
+  entries : entry array;
+  automaton : Aho_corasick.t option;  (* None when there are no signatures *)
+}
+
+let create signatures =
+  let token_index = Hashtbl.create 64 in
+  let patterns = ref [] and n_patterns = ref 0 in
+  let intern token =
+    match Hashtbl.find_opt token_index token with
+    | Some id -> id
+    | None ->
+      let id = !n_patterns in
+      Hashtbl.add token_index token id;
+      patterns := token :: !patterns;
+      incr n_patterns;
+      id
+  in
+  let entries =
+    List.map
+      (fun s ->
+        {
+          signature = s;
+          compiled = Signature.compile s;
+          token_ids = Array.of_list (List.map intern s.Signature.tokens);
+          ordered = (s.Signature.mode = Signature.Ordered);
+        })
+      signatures
+    |> Array.of_list
+  in
+  let automaton =
+    if !n_patterns = 0 then None
+    else Some (Aho_corasick.build (List.rev !patterns))
+  in
+  { signatures; entries; automaton }
+
+let signatures t = t.signatures
+let signature_count t = Array.length t.entries
+
+let entry_matches entry matched content =
+  Array.for_all (fun id -> matched.(id)) entry.token_ids
+  && ((not entry.ordered) || Signature.matches_content entry.compiled content)
+
+let first_match_content t content =
+  match t.automaton with
+  | None -> None
+  | Some automaton ->
+    let matched = Aho_corasick.matched_set automaton content in
+    let n = Array.length t.entries in
+    let rec loop i =
+      if i = n then None
+      else if entry_matches t.entries.(i) matched content then
+        Some t.entries.(i).signature
+      else loop (i + 1)
+    in
+    loop 0
+
+let first_match t packet = first_match_content t (Packet.content_string packet)
+
+let all_matches t packet =
+  match t.automaton with
+  | None -> []
+  | Some automaton ->
+    let content = Packet.content_string packet in
+    let matched = Aho_corasick.matched_set automaton content in
+    Array.to_list t.entries
+    |> List.filter_map (fun e ->
+           if entry_matches e matched content then Some e.signature else None)
+
+let detects t packet = Option.is_some (first_match t packet)
+
+let detect_bitmap t packets =
+  Array.map (fun p -> Option.is_some (first_match t p)) packets
+
+let count_detected t packets =
+  Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets

@@ -1,0 +1,21 @@
+(** The detection engine: applies a generated signature set to packets.
+    This is what the paper's on-device information-flow-control application
+    runs against intercepted traffic (Fig. 3b). *)
+
+type t
+
+val create : Signature.t list -> t
+val signatures : t -> Signature.t list
+val signature_count : t -> int
+
+val first_match : t -> Leakdetect_http.Packet.t -> Signature.t option
+(** The first signature (in id order) matching the packet. *)
+
+val all_matches : t -> Leakdetect_http.Packet.t -> Signature.t list
+
+val detects : t -> Leakdetect_http.Packet.t -> bool
+
+val count_detected : t -> Leakdetect_http.Packet.t array -> int
+
+val detect_bitmap : t -> Leakdetect_http.Packet.t array -> bool array
+(** Per-packet detection flags, aligned with the input array. *)

@@ -1,0 +1,99 @@
+module Ipv4 = Leakdetect_net.Ipv4
+module Domain = Leakdetect_net.Domain
+module Packet = Leakdetect_http.Packet
+module Compressor = Leakdetect_compress.Compressor
+
+type components = {
+  use_ip : bool;
+  use_port : bool;
+  use_host : bool;
+  use_rline : bool;
+  use_cookie : bool;
+  use_body : bool;
+}
+
+let all_components =
+  { use_ip = true; use_port = true; use_host = true;
+    use_rline = true; use_cookie = true; use_body = true }
+
+let destination_only =
+  { all_components with use_rline = false; use_cookie = false; use_body = false }
+
+let content_only =
+  { all_components with use_ip = false; use_port = false; use_host = false }
+
+type content_metric = Ncd | Trigram
+
+type t = {
+  comps : components;
+  cache : Compressor.Cache.t;
+  trigram_cache : Leakdetect_text.Trigram.Cache.t;
+  metric : content_metric;
+  registry : Leakdetect_net.Registry.t option;
+}
+
+let create ?(components = all_components) ?(compressor = Compressor.Lz77)
+    ?(content_metric = Ncd) ?registry () =
+  {
+    comps = components;
+    cache = Compressor.Cache.create compressor;
+    trigram_cache = Leakdetect_text.Trigram.Cache.create ();
+    metric = content_metric;
+    registry;
+  }
+
+let components t = t.comps
+let registry t = t.registry
+
+let d_ip a b = 1. -. Ipv4.similarity a b
+
+let d_ip_registry registry a b =
+  match Leakdetect_net.Registry.same_organization registry a b with
+  | Some true -> 0.
+  | Some false -> 1.
+  | None -> d_ip a b
+let d_port a b = if a = b then 0. else 1.
+let d_host a b = Domain.normalized_edit_distance a b
+
+let d_dst t (px : Packet.t) (py : Packet.t) =
+  let dx = px.dst and dy = py.dst in
+  let acc = ref 0. in
+  if t.comps.use_ip then begin
+    let d =
+      match t.registry with
+      | Some registry -> d_ip_registry registry dx.Packet.ip dy.Packet.ip
+      | None -> d_ip dx.Packet.ip dy.Packet.ip
+    in
+    acc := !acc +. d
+  end;
+  if t.comps.use_port then acc := !acc +. d_port dx.Packet.port dy.Packet.port;
+  if t.comps.use_host then acc := !acc +. d_host dx.Packet.host dy.Packet.host;
+  !acc
+
+let ncd t x y = Compressor.Cache.ncd t.cache x y
+
+let content_distance t x y =
+  match t.metric with
+  | Ncd -> ncd t x y
+  | Trigram -> Leakdetect_text.Trigram.Cache.distance t.trigram_cache x y
+
+let d_header t (px : Packet.t) (py : Packet.t) =
+  let cx = px.content and cy = py.content in
+  let acc = ref 0. in
+  if t.comps.use_rline then
+    acc := !acc +. content_distance t cx.Packet.request_line cy.Packet.request_line;
+  if t.comps.use_cookie then
+    acc := !acc +. content_distance t cx.Packet.cookie cy.Packet.cookie;
+  if t.comps.use_body then acc := !acc +. content_distance t cx.Packet.body cy.Packet.body;
+  !acc
+
+let d_pkt t px py = d_dst t px py +. d_header t px py
+
+let matrix t packets =
+  Leakdetect_cluster.Dist_matrix.build (Array.length packets) (fun i j ->
+      d_pkt t packets.(i) packets.(j))
+
+let max_possible t =
+  let b flag = if flag then 1. else 0. in
+  b t.comps.use_ip +. b t.comps.use_port +. b t.comps.use_host
+  +. b t.comps.use_rline +. b t.comps.use_cookie +. b t.comps.use_body

@@ -1,0 +1,45 @@
+type counts = {
+  n : int;
+  sensitive_total : int;
+  sensitive_detected : int;
+  normal_total : int;
+  normal_detected : int;
+}
+
+type t = {
+  counts : counts;
+  true_positive : float;
+  false_negative : float;
+  false_positive : float;
+}
+
+let compute counts =
+  let { n; sensitive_total; sensitive_detected; normal_total; normal_detected } =
+    counts
+  in
+  if
+    n < 0 || sensitive_detected < 0 || normal_detected < 0
+    || sensitive_detected > sensitive_total
+    || normal_detected > normal_total
+    || n > sensitive_total
+  then invalid_arg "Metrics.compute: inconsistent counts";
+  let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  {
+    counts;
+    true_positive = ratio (sensitive_detected - n) (sensitive_total - n);
+    false_negative = ratio (sensitive_total - sensitive_detected) (sensitive_total - n);
+    false_positive = ratio normal_detected (normal_total - n);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "N=%d TP=%.1f%% FN=%.1f%% FP=%.2f%%" t.counts.n
+    (100. *. t.true_positive) (100. *. t.false_negative)
+    (100. *. t.false_positive)
+
+let to_row t =
+  [
+    string_of_int t.counts.n;
+    Printf.sprintf "%.1f" (100. *. t.true_positive);
+    Printf.sprintf "%.1f" (100. *. t.false_negative);
+    Printf.sprintf "%.2f" (100. *. t.false_positive);
+  ]

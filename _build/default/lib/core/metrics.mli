@@ -1,0 +1,39 @@
+(** The paper's evaluation measures, exactly as defined in Sec. V-B.
+
+    With [n] the signature-generation sample size, [S] the number of
+    sensitive packets in the whole dataset, [B] the number of non-sensitive
+    packets, [dS] the number of detected sensitive packets and [dB] the
+    number of detected non-sensitive packets:
+
+      TP = (dS - n) / (S - n)
+      FN = (S - dS) / (S - n)
+      FP = dB / (B - n)
+
+    The [- n] terms discount the sampled packets, which signatures match by
+    construction.  (The paper subtracts [n] in the FP denominator as well;
+    we follow it literally.)  TP + FN = 1 by construction; both are reported
+    because the paper plots both. *)
+
+type counts = {
+  n : int;  (** Sample size used for generation. *)
+  sensitive_total : int;
+  sensitive_detected : int;
+  normal_total : int;
+  normal_detected : int;
+}
+
+type t = {
+  counts : counts;
+  true_positive : float;
+  false_negative : float;
+  false_positive : float;
+}
+
+val compute : counts -> t
+(** @raise Invalid_argument when totals are inconsistent (detected counts
+    exceeding totals, or [n] larger than the sensitive total). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_row : t -> string list
+(** [N; TP%; FN%; FP%] formatted for table output. *)

@@ -1,0 +1,39 @@
+module Search = Leakdetect_text.Search
+module Packet = Leakdetect_http.Packet
+
+type t = {
+  needles : (Sensitive.kind * string) list;
+  compiled : (Sensitive.kind * Search.compiled) list;
+}
+
+let create needles =
+  List.iter
+    (fun (_, n) ->
+      if n = "" then invalid_arg "Payload_check.create: empty needle")
+    needles;
+  { needles; compiled = List.map (fun (k, n) -> (k, Search.compile n)) needles }
+
+let needles t = t.needles
+
+let scan t packet =
+  let content = Packet.content_string packet in
+  List.fold_left
+    (fun acc (kind, pat) ->
+      if Search.matches pat content && not (List.exists (Sensitive.equal kind) acc)
+      then kind :: acc
+      else acc)
+    [] t.compiled
+  |> List.sort Sensitive.compare
+
+let is_sensitive t packet =
+  let content = Packet.content_string packet in
+  List.exists (fun (_, pat) -> Search.matches pat content) t.compiled
+
+let split t packets =
+  let suspicious = ref [] and normal = ref [] in
+  Array.iter
+    (fun p ->
+      if is_sensitive t p then suspicious := p :: !suspicious
+      else normal := p :: !normal)
+    packets;
+  (Array.of_list (List.rev !suspicious), Array.of_list (List.rev !normal))

@@ -1,0 +1,30 @@
+(** The payload check (Sec. IV-A): splits a trace into the suspicious group
+    (packets carrying sensitive information) and the normal group.
+
+    In the paper's setting all traffic comes from one handset, so the
+    concrete identifier values are known; the check scans each packet for
+    those values and for their MD5/SHA1 hex digests.  The needle table is
+    supplied by the caller (the Android device model provides one via
+    [Leakdetect_android.Device.needles]), keeping this module independent of
+    how identifiers are obtained. *)
+
+type t
+
+val create : (Sensitive.kind * string) list -> t
+(** [create needles] pre-compiles the search patterns.  Multiple needles per
+    kind are allowed (e.g. a raw value and its URL-encoded form).  Empty
+    needle strings are rejected with [Invalid_argument]. *)
+
+val needles : t -> (Sensitive.kind * string) list
+
+val scan : t -> Leakdetect_http.Packet.t -> Sensitive.kind list
+(** The distinct kinds whose needle occurs in the packet content
+    (request-line, cookie or body), in Table III order. *)
+
+val is_sensitive : t -> Leakdetect_http.Packet.t -> bool
+
+val split :
+  t ->
+  Leakdetect_http.Packet.t array ->
+  Leakdetect_http.Packet.t array * Leakdetect_http.Packet.t array
+(** [(suspicious, normal)] preserving input order within each group. *)

@@ -1,0 +1,66 @@
+module Prng = Leakdetect_util.Prng
+module Sample = Leakdetect_util.Sample
+
+let log_src = Logs.Src.create "leakdetect.pipeline" ~doc:"End-to-end evaluation pipeline"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  components : Distance.components;
+  compressor : Leakdetect_compress.Compressor.algorithm;
+  content_metric : Distance.content_metric;
+  registry : Leakdetect_net.Registry.t option;
+  siggen : Siggen.config;
+}
+
+let default_config =
+  {
+    components = Distance.all_components;
+    compressor = Leakdetect_compress.Compressor.Lz77;
+    content_metric = Distance.Ncd;
+    registry = None;
+    siggen = Siggen.default;
+  }
+
+type outcome = {
+  config : config;
+  sample_size : int;
+  signatures : Signature.t list;
+  n_clusters : int;
+  rejected_clusters : int;
+  metrics : Metrics.t;
+}
+
+let run ?(config = default_config) ~rng ~n ~suspicious ~normal () =
+  let sample = Sample.without_replacement rng n suspicious in
+  let n = Array.length sample in
+  let dist =
+    Distance.create ~components:config.components ~compressor:config.compressor
+      ~content_metric:config.content_metric ?registry:config.registry ()
+  in
+  let gen = Siggen.generate config.siggen dist sample in
+  let detector = Detector.create gen.Siggen.signatures in
+  let sensitive_detected = Detector.count_detected detector suspicious in
+  let normal_detected = Detector.count_detected detector normal in
+  let metrics =
+    Metrics.compute
+      {
+        Metrics.n;
+        sensitive_total = Array.length suspicious;
+        sensitive_detected;
+        normal_total = Array.length normal;
+        normal_detected;
+      }
+  in
+  Log.info (fun m -> m "%a" Metrics.pp metrics);
+  {
+    config;
+    sample_size = n;
+    signatures = gen.Siggen.signatures;
+    n_clusters = List.length gen.Siggen.clusters;
+    rejected_clusters = gen.Siggen.rejected;
+    metrics;
+  }
+
+let sweep ?(config = default_config) ~rng ~ns ~suspicious ~normal () =
+  List.map (fun n -> run ~config ~rng:(Prng.split rng) ~n ~suspicious ~normal ()) ns

@@ -1,0 +1,48 @@
+(** End-to-end experiment driver: the full Figure 3(a) server pipeline —
+    payload-check split, uniform sample of N suspicious packets, clustering,
+    signature generation, whole-trace detection, paper metrics. *)
+
+type config = {
+  components : Distance.components;
+  compressor : Leakdetect_compress.Compressor.algorithm;
+  content_metric : Distance.content_metric;
+  registry : Leakdetect_net.Registry.t option;
+      (** WHOIS refinement of the destination distance (Sec. VI). *)
+  siggen : Siggen.config;
+}
+
+val default_config : config
+
+type outcome = {
+  config : config;
+  sample_size : int;  (** Actual N drawn (capped by the suspicious count). *)
+  signatures : Signature.t list;
+  n_clusters : int;
+  rejected_clusters : int;
+  metrics : Metrics.t;
+}
+
+val run :
+  ?config:config ->
+  rng:Leakdetect_util.Prng.t ->
+  n:int ->
+  suspicious:Leakdetect_http.Packet.t array ->
+  normal:Leakdetect_http.Packet.t array ->
+  unit ->
+  outcome
+(** [run ~rng ~n ~suspicious ~normal ()] samples [min n |suspicious|]
+    packets, generates signatures and evaluates them on the whole dataset
+    (both groups).  The groups are the ground-truth split the paper prepared
+    manually (Sec. V-A); obtain them from {!Payload_check.split} or from
+    trace labels. *)
+
+val sweep :
+  ?config:config ->
+  rng:Leakdetect_util.Prng.t ->
+  ns:int list ->
+  suspicious:Leakdetect_http.Packet.t array ->
+  normal:Leakdetect_http.Packet.t array ->
+  unit ->
+  outcome list
+(** The Figure 4 experiment: one {!run} per N, each on a fresh sample drawn
+    from a split of the given generator. *)

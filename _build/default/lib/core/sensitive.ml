@@ -1,0 +1,68 @@
+type kind =
+  | Android_id
+  | Android_id_md5
+  | Android_id_sha1
+  | Carrier
+  | Imei
+  | Imei_md5
+  | Imei_sha1
+  | Imsi
+  | Sim_serial
+
+let all =
+  [ Android_id; Android_id_md5; Android_id_sha1; Carrier; Imei; Imei_md5;
+    Imei_sha1; Imsi; Sim_serial ]
+
+let to_string = function
+  | Android_id -> "android_id"
+  | Android_id_md5 -> "android_id_md5"
+  | Android_id_sha1 -> "android_id_sha1"
+  | Carrier -> "carrier"
+  | Imei -> "imei"
+  | Imei_md5 -> "imei_md5"
+  | Imei_sha1 -> "imei_sha1"
+  | Imsi -> "imsi"
+  | Sim_serial -> "sim_serial"
+
+let of_string = function
+  | "android_id" -> Some Android_id
+  | "android_id_md5" -> Some Android_id_md5
+  | "android_id_sha1" -> Some Android_id_sha1
+  | "carrier" -> Some Carrier
+  | "imei" -> Some Imei
+  | "imei_md5" -> Some Imei_md5
+  | "imei_sha1" -> Some Imei_sha1
+  | "imsi" -> Some Imsi
+  | "sim_serial" -> Some Sim_serial
+  | _ -> None
+
+let paper_name = function
+  | Android_id -> "ANDROID ID"
+  | Android_id_md5 -> "ANDROID ID MD5"
+  | Android_id_sha1 -> "ANDROID ID SHA1"
+  | Carrier -> "CARRIER"
+  | Imei -> "IMEI (Device ID)"
+  | Imei_md5 -> "IMEI MD5"
+  | Imei_sha1 -> "IMEI SHA1"
+  | Imsi -> "IMSI (Subscriber ID)"
+  | Sim_serial -> "SIM Serial ID"
+
+let rank = function
+  | Android_id -> 0
+  | Android_id_md5 -> 1
+  | Android_id_sha1 -> 2
+  | Carrier -> 3
+  | Imei -> 4
+  | Imei_md5 -> 5
+  | Imei_sha1 -> 6
+  | Imsi -> 7
+  | Sim_serial -> 8
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+
+module Set = Set.Make (struct
+  type t = kind
+
+  let compare = compare
+end)

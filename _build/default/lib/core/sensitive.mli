@@ -1,0 +1,30 @@
+(** The sensitive-information taxonomy of the paper (Table III): the four
+    unique device identifiers, their MD5/SHA1 hex digests as transmitted by
+    advertisement modules, and the carrier name. *)
+
+type kind =
+  | Android_id
+  | Android_id_md5
+  | Android_id_sha1
+  | Carrier
+  | Imei
+  | Imei_md5
+  | Imei_sha1
+  | Imsi
+  | Sim_serial
+
+val all : kind list
+(** In Table III row order. *)
+
+val to_string : kind -> string
+(** Stable machine-readable name, used in trace labels. *)
+
+val of_string : string -> kind option
+
+val paper_name : kind -> string
+(** The row label as printed in Table III (e.g. ["ANDROID ID MD5"]). *)
+
+val compare : kind -> kind -> int
+val equal : kind -> kind -> bool
+
+module Set : Set.S with type elt = kind

@@ -1,0 +1,106 @@
+module Dendrogram = Leakdetect_cluster.Dendrogram
+module Agglomerative = Leakdetect_cluster.Agglomerative
+module Tokens = Leakdetect_text.Tokens
+module Packet = Leakdetect_http.Packet
+
+let log_src = Logs.Src.create "leakdetect.siggen" ~doc:"Signature generation"
+
+module Log = (val Logs.src_log log_src)
+
+type cut = Auto | Threshold of float | Count of int | Every_merge
+
+type config = {
+  linkage : Agglomerative.linkage;
+  cut : cut;
+  min_token_len : int;
+  min_specificity : int;
+  mode : Signature.mode;
+}
+
+let default =
+  {
+    linkage = Agglomerative.Group_average;
+    cut = Auto;
+    min_token_len = 3;
+    min_specificity = 8;
+    mode = Signature.Conjunction;
+  }
+
+type result = {
+  signatures : Signature.t list;
+  dendrogram : Dendrogram.t option;
+  clusters : int list list;
+  rejected : int;
+}
+
+let cut_threshold_value config dist =
+  match config.cut with
+  | Threshold v -> v
+  | Auto | Count _ | Every_merge -> 0.25 *. Distance.max_possible dist
+
+(* All internal subtrees, largest first, for the Every_merge policy. *)
+let rec internal_subtrees = function
+  | Dendrogram.Leaf _ -> []
+  | Dendrogram.Node { left; right; _ } as node ->
+    (node :: internal_subtrees left) @ internal_subtrees right
+
+let generate config dist sample =
+  if Array.length sample = 0 then
+    { signatures = []; dendrogram = None; clusters = []; rejected = 0 }
+  else begin
+    let matrix = Distance.matrix dist sample in
+    let dendrogram = Agglomerative.cluster ~linkage:config.linkage matrix in
+    let forest =
+      match dendrogram with
+      | None -> []
+      | Some tree -> (
+        match config.cut with
+        | Count k -> Dendrogram.cut_into k tree
+        | Every_merge -> internal_subtrees tree
+        | Auto | Threshold _ ->
+          Dendrogram.cut ~threshold:(cut_threshold_value config dist) tree)
+    in
+    let clusters = List.map Dendrogram.members forest in
+    let next_id = ref 0 and rejected = ref 0 in
+    let seen_tokens = Hashtbl.create 64 in
+    let signatures =
+      List.filter_map
+        (fun members ->
+          let contents =
+            List.map (fun i -> Packet.content_string sample.(i)) members
+          in
+          let tokens = Tokens.extract ~min_len:config.min_token_len contents in
+          match tokens with
+          | [] ->
+            incr rejected;
+            None
+          | tokens ->
+            let candidate =
+              Signature.make ~id:!next_id ~mode:config.mode
+                ~cluster_size:(List.length members) tokens
+            in
+            if Signature.specificity candidate < config.min_specificity then begin
+              incr rejected;
+              None
+            end
+            else if Hashtbl.mem seen_tokens tokens then begin
+              (* Nested clusters can repeat a token list (Every_merge). *)
+              incr rejected;
+              None
+            end
+            else begin
+              Hashtbl.add seen_tokens tokens ();
+              incr next_id;
+              Some candidate
+            end)
+        clusters
+    in
+    Log.info (fun m ->
+        m "sample of %d -> %d clusters, %d signatures (%d rejected)"
+          (Array.length sample) (List.length clusters) (List.length signatures)
+          !rejected);
+    List.iter
+      (fun s -> Log.debug (fun m -> m "signature: %a" Signature.pp s))
+      signatures;
+    { signatures; dendrogram; clusters; rejected = !rejected }
+  end

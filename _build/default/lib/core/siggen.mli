@@ -1,0 +1,39 @@
+(** Signature generation: sample -> distance matrix -> hierarchical
+    clustering -> per-cluster invariant tokens -> filtered signature set
+    (Sec. IV-D and IV-E end to end). *)
+
+type cut = Auto | Threshold of float | Count of int | Every_merge
+(** Where to cut the dendrogram into clusters.  The paper iterates over "the
+    top of cluster" without fixing a rule; [Auto] cuts at a quarter of the
+    maximum possible packet distance under the active components, which
+    empirically separates per-advertisement-module clusters.  [Every_merge]
+    is the most literal reading of Sec. IV-E: every internal node of the
+    dendrogram becomes a candidate cluster (signatures deduplicated by
+    token list, degenerate ones rejected as usual). *)
+
+type config = {
+  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  cut : cut;
+  min_token_len : int;  (** Tokens shorter than this are dropped (default 3). *)
+  min_specificity : int;
+      (** Signatures whose non-boilerplate token mass is below this are
+          rejected as degenerate (default 8). *)
+  mode : Signature.mode;
+}
+
+val default : config
+
+type result = {
+  signatures : Signature.t list;
+  dendrogram : Leakdetect_cluster.Dendrogram.t option;
+  clusters : int list list;  (** Sample indices per cluster, post-cut. *)
+  rejected : int;  (** Clusters whose signature failed the filters. *)
+}
+
+val generate :
+  config -> Distance.t -> Leakdetect_http.Packet.t array -> result
+(** [generate config dist sample].  Signature ids number accepted clusters
+    from 0 in cut order. *)
+
+val cut_threshold_value : config -> Distance.t -> float
+(** The concrete threshold [Auto] resolves to (exposed for reporting). *)

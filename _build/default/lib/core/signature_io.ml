@@ -1,0 +1,94 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec loop i =
+    if i = n then Some (Buffer.contents buf)
+    else if s.[i] = '\\' then
+      if i + 1 = n then None
+      else begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | _ -> ());
+        match s.[i + 1] with
+        | '\\' | 't' | 'n' | 'r' -> loop (i + 2)
+        | _ -> None
+      end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let mode_to_string = function
+  | Signature.Conjunction -> "conjunction"
+  | Signature.Ordered -> "ordered"
+
+let mode_of_string = function
+  | "conjunction" -> Some Signature.Conjunction
+  | "ordered" -> Some Signature.Ordered
+  | _ -> None
+
+let to_line (s : Signature.t) =
+  String.concat "\t"
+    (string_of_int s.Signature.id
+    :: mode_to_string s.Signature.mode
+    :: string_of_int s.Signature.cluster_size
+    :: List.map escape s.Signature.tokens)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | id_s :: mode_s :: size_s :: tokens when tokens <> [] -> (
+    match (int_of_string_opt id_s, mode_of_string mode_s, int_of_string_opt size_s) with
+    | Some id, Some mode, Some cluster_size -> (
+      let unescaped = List.filter_map unescape tokens in
+      if List.length unescaped <> List.length tokens then Error "bad token escape"
+      else
+        try Ok (Signature.make ~id ~mode ~cluster_size unescaped)
+        with Invalid_argument m -> Error m)
+    | None, _, _ -> Error "bad id"
+    | _, None, _ -> Error "bad mode"
+    | _, _, None -> Error "bad cluster size")
+  | _ -> Error "expected at least 4 tab-separated fields"
+
+let save path signatures =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun s ->
+          output_string oc (to_line s);
+          output_char oc '\n')
+        signatures)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line -> (
+          match of_line line with
+          | Ok s -> loop (lineno + 1) (s :: acc)
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+      in
+      loop 1 [])

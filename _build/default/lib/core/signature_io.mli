@@ -1,0 +1,15 @@
+(** Signature-set persistence.
+
+    The Figure 3 architecture separates the generation server from the
+    on-device application, which periodically fetches the signature set;
+    this module defines the interchange format.  Line-oriented:
+
+      id TAB mode TAB cluster_size TAB token1 TAB token2 ...
+
+    with backslash escaping of tab/newline/backslash inside tokens. *)
+
+val to_line : Signature.t -> string
+val of_line : string -> (Signature.t, string) result
+
+val save : string -> Signature.t list -> unit
+val load : string -> (Signature.t list, string) result

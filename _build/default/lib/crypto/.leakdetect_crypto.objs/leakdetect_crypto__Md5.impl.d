@@ -1,0 +1,1 @@
+lib/crypto/md5.ml: Array Buffer Bytes Char Float Int32 Int64 Leakdetect_util String

@@ -1,0 +1,1 @@
+lib/crypto/sha1.ml: Array Buffer Bytes Char Int32 Int64 Leakdetect_util String

@@ -1,0 +1,86 @@
+(* Straightforward RFC 1321 implementation over Int32. *)
+
+let s_table =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+(* K.(i) = floor(2^32 * |sin(i+1)|), precomputed at startup to avoid a wall
+   of literals; verified against the RFC values by the test suite. *)
+let k_table =
+  Array.init 64 (fun i ->
+      (* Values reach 2^32-1, so truncate through Int64 to wrap into int32. *)
+      Int64.to_int32
+        (Int64.of_float (4294967296.0 *. Float.abs (sin (float_of_int (i + 1))))))
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let pad msg =
+  let len = String.length msg in
+  let bitlen = Int64.of_int (len * 8) in
+  let padlen =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r else 120 - r
+  in
+  let buf = Buffer.create (len + padlen + 9) in
+  Buffer.add_string buf msg;
+  Buffer.add_char buf '\x80';
+  Buffer.add_string buf (String.make padlen '\x00');
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  Buffer.contents buf
+
+let word_le s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor (b 0)
+    (Int32.logor (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let digest msg =
+  let data = pad msg in
+  let a0 = ref 0x67452301l and b0 = ref 0xefcdab89l in
+  let c0 = ref 0x98badcfel and d0 = ref 0x10325476l in
+  let nblocks = String.length data / 64 in
+  let m = Array.make 16 0l in
+  for block = 0 to nblocks - 1 do
+    for j = 0 to 15 do m.(j) <- word_le data ((block * 64) + (j * 4)) done;
+    let a = ref !a0 and b = ref !b0 and c = ref !c0 and d = ref !d0 in
+    for i = 0 to 63 do
+      let f, g =
+        if i < 16 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+        else if i < 32 then
+          (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c),
+           ((5 * i) + 1) mod 16)
+        else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
+        else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), (7 * i) mod 16)
+      in
+      let tmp = !d in
+      d := !c;
+      c := !b;
+      let sum = Int32.add (Int32.add !a f) (Int32.add k_table.(i) m.(g)) in
+      b := Int32.add !b (rotl32 sum s_table.(i));
+      a := tmp
+    done;
+    a0 := Int32.add !a0 !a;
+    b0 := Int32.add !b0 !b;
+    c0 := Int32.add !c0 !c;
+    d0 := Int32.add !d0 !d
+  done;
+  let out = Bytes.create 16 in
+  let put off v =
+    for i = 0 to 3 do
+      Bytes.set out (off + i)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xFFl)))
+    done
+  in
+  put 0 !a0;
+  put 4 !b0;
+  put 8 !c0;
+  put 12 !d0;
+  Bytes.unsafe_to_string out
+
+let hex msg = Leakdetect_util.Hex.encode (digest msg)

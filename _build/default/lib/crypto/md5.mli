@@ -1,0 +1,13 @@
+(** MD5 (RFC 1321), implemented from scratch.
+
+    Advertisement modules observed by the paper transmit MD5 hashes of device
+    identifiers (Table III lists "ANDROID ID MD5" and "IMEI MD5" rows); the
+    payload check must therefore recognize these digests on the wire.  The
+    implementation is cross-checked against OCaml's stdlib [Digest] in the
+    test suite. *)
+
+val digest : string -> string
+(** 16-byte raw digest. *)
+
+val hex : string -> string
+(** 32-character lowercase hex digest, the wire format ad modules use. *)

@@ -1,0 +1,81 @@
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let pad msg =
+  let len = String.length msg in
+  let bitlen = Int64.of_int (len * 8) in
+  let padlen =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r else 120 - r
+  in
+  let buf = Buffer.create (len + padlen + 9) in
+  Buffer.add_string buf msg;
+  Buffer.add_char buf '\x80';
+  Buffer.add_string buf (String.make padlen '\x00');
+  (* Length appended big-endian, unlike MD5. *)
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  Buffer.contents buf
+
+let word_be s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor (Int32.shift_left (b 0) 24)
+    (Int32.logor (Int32.shift_left (b 1) 16)
+       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let digest msg =
+  let data = pad msg in
+  let h0 = ref 0x67452301l and h1 = ref 0xEFCDAB89l and h2 = ref 0x98BADCFEl in
+  let h3 = ref 0x10325476l and h4 = ref 0xC3D2E1F0l in
+  let w = Array.make 80 0l in
+  let nblocks = String.length data / 64 in
+  for block = 0 to nblocks - 1 do
+    for t = 0 to 15 do w.(t) <- word_be data ((block * 64) + (t * 4)) done;
+    for t = 16 to 79 do
+      w.(t) <-
+        rotl32 (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+        else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+        else if t < 60 then
+          (Int32.logor
+             (Int32.logor (Int32.logand !b !c) (Int32.logand !b !d))
+             (Int32.logand !c !d),
+           0x8F1BBCDCl)
+        else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+      in
+      let tmp =
+        Int32.add (Int32.add (rotl32 !a 5) f) (Int32.add !e (Int32.add k w.(t)))
+      in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := tmp
+    done;
+    h0 := Int32.add !h0 !a;
+    h1 := Int32.add !h1 !b;
+    h2 := Int32.add !h2 !c;
+    h3 := Int32.add !h3 !d;
+    h4 := Int32.add !h4 !e
+  done;
+  let out = Bytes.create 20 in
+  let put off v =
+    for i = 0 to 3 do
+      Bytes.set out (off + i)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - i))) 0xFFl)))
+    done
+  in
+  put 0 !h0;
+  put 4 !h1;
+  put 8 !h2;
+  put 12 !h3;
+  put 16 !h4;
+  Bytes.unsafe_to_string out
+
+let hex msg = Leakdetect_util.Hex.encode (digest msg)

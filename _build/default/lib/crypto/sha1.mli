@@ -1,0 +1,12 @@
+(** SHA-1 (RFC 3174), implemented from scratch.
+
+    Table III of the paper lists SHA1-hashed Android IDs and IMEIs among the
+    sensitive information observed on the wire; this module lets the payload
+    check and the workload generator produce and recognize those digests.
+    Verified against the RFC / FIPS-180 test vectors in the test suite. *)
+
+val digest : string -> string
+(** 20-byte raw digest. *)
+
+val hex : string -> string
+(** 40-character lowercase hex digest. *)

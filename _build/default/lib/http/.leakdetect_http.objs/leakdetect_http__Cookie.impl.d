@@ -1,0 +1,1 @@
+lib/http/cookie.ml: Leakdetect_util List String

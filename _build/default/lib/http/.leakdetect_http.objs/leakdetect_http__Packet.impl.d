@@ -1,0 +1,1 @@
+lib/http/packet.ml: Format Int Leakdetect_net Request String

@@ -1,0 +1,1 @@
+lib/http/packet.mli: Format Leakdetect_net Request

@@ -1,0 +1,1 @@
+lib/http/request.ml: Headers Leakdetect_net Option String

@@ -1,0 +1,1 @@
+lib/http/response.ml: Buffer Headers Leakdetect_util List Printf String

@@ -1,0 +1,1 @@
+lib/http/trace.ml: Buffer Fun Leakdetect_net List Packet Printf Result String

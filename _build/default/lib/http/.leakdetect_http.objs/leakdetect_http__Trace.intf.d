@@ -1,0 +1,1 @@
+lib/http/trace.mli: Packet

@@ -1,0 +1,1 @@
+lib/http/trace_binary.ml: Buffer Char Fun Leakdetect_net List Packet Printf String Trace

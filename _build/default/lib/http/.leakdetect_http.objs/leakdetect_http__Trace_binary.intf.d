@@ -1,0 +1,1 @@
+lib/http/trace_binary.mli: Trace

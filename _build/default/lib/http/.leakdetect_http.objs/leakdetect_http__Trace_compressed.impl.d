@@ -1,0 +1,1 @@
+lib/http/trace_compressed.ml: Fun Leakdetect_compress String Trace_binary

@@ -1,0 +1,1 @@
+lib/http/trace_compressed.mli: Trace

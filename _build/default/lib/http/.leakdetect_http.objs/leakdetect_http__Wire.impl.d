@@ -1,0 +1,1 @@
+lib/http/wire.ml: Buffer Headers Leakdetect_util List Printf Request String

@@ -1,0 +1,1 @@
+lib/http/wire.mli: Request

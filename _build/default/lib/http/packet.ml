@@ -1,0 +1,30 @@
+type destination = { ip : Leakdetect_net.Ipv4.t; port : int; host : string }
+type content = { request_line : string; cookie : string; body : string }
+type t = { dst : destination; content : content }
+
+let make ~dst ~request =
+  {
+    dst;
+    content =
+      {
+        request_line = Request.request_line request;
+        cookie = Request.cookie request;
+        body = request.Request.body;
+      };
+  }
+
+let v ~ip ~port ~host ~request_line ~cookie ~body =
+  { dst = { ip; port; host }; content = { request_line; cookie; body } }
+
+let content_string t =
+  String.concat "\n" [ t.content.request_line; t.content.cookie; t.content.body ]
+
+let compare_dst a b =
+  match Leakdetect_net.Ipv4.compare a.ip b.ip with
+  | 0 -> ( match Int.compare a.port b.port with 0 -> String.compare a.host b.host | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:%d (%s)@ %s@]"
+    (Leakdetect_net.Ipv4.to_string t.dst.ip)
+    t.dst.port t.dst.host t.content.request_line

@@ -1,0 +1,76 @@
+type t = {
+  version : string;
+  status : int;
+  reason : string;
+  headers : Headers.t;
+  body : string;
+}
+
+let reason_for = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 304 -> "Not Modified"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let make ?(version = "HTTP/1.1") ?(headers = Headers.empty) ?(body = "") status =
+  { version; status; reason = reason_for status; headers; body }
+
+let status_line t = Printf.sprintf "%s %d %s" t.version t.status t.reason
+
+let print t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (status_line t);
+  Buffer.add_string buf "\r\n";
+  let headers =
+    if t.body <> "" && not (Headers.mem t.headers "Content-Length") then
+      Headers.add t.headers "Content-Length" (string_of_int (String.length t.body))
+    else t.headers
+  in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf value;
+      Buffer.add_string buf "\r\n")
+    (Headers.to_list headers);
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf t.body;
+  Buffer.contents buf
+
+let parse raw =
+  match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n\r\n" raw with
+  | [] -> Error "empty input"
+  | head :: rest -> (
+    let body = String.concat "\r\n\r\n" rest in
+    match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
+    | [] | [ "" ] -> Error "missing status line"
+    | status_line :: header_lines -> (
+      match String.split_on_char ' ' status_line with
+      | version :: code :: reason_parts -> (
+        match int_of_string_opt code with
+        | None -> Error (Printf.sprintf "bad status code %S" code)
+        | Some status ->
+          let parse_header acc line =
+            match acc with
+            | Error _ as e -> e
+            | Ok headers -> (
+              match String.index_opt line ':' with
+              | None -> Error (Printf.sprintf "malformed header line %S" line)
+              | Some i ->
+                let name = String.sub line 0 i in
+                let value =
+                  Leakdetect_util.Strutil.trim_spaces
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                Ok (Headers.add headers name value))
+          in
+          (match List.fold_left parse_header (Ok Headers.empty) header_lines with
+          | Error _ as e -> e
+          | Ok headers ->
+            Ok { version; status; reason = String.concat " " reason_parts; headers; body }))
+      | _ -> Error (Printf.sprintf "malformed status line %S" status_line)))

@@ -1,0 +1,24 @@
+(** HTTP/1.1 responses — the other half of the wire substrate, used by the
+    simulated signature-distribution server (Fig. 3: the on-device
+    application periodically fetches the current signature set over plain
+    HTTP). *)
+
+type t = {
+  version : string;
+  status : int;
+  reason : string;
+  headers : Headers.t;
+  body : string;
+}
+
+val make : ?version:string -> ?headers:Headers.t -> ?body:string -> int -> t
+(** [make status] with the standard reason phrase for known codes. *)
+
+val reason_for : int -> string
+val status_line : t -> string
+
+val print : t -> string
+(** Status line, headers (with [Content-Length] added when missing and the
+    body is non-empty), blank line, body. *)
+
+val parse : string -> (t, string) result

@@ -1,0 +1,117 @@
+type record = { packet : Packet.t; app_id : int; labels : string list }
+
+let escape_field s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_field s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec loop i =
+    if i = n then Some (Buffer.contents buf)
+    else if s.[i] = '\\' then
+      if i + 1 = n then None
+      else begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | _ -> ());
+        match s.[i + 1] with
+        | '\\' | 't' | 'n' | 'r' -> loop (i + 2)
+        | _ -> None
+      end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let record_to_line r =
+  let { Packet.dst; content } = r.packet in
+  String.concat "\t"
+    [
+      string_of_int r.app_id;
+      Leakdetect_net.Ipv4.to_string dst.Packet.ip;
+      string_of_int dst.Packet.port;
+      escape_field dst.Packet.host;
+      escape_field content.Packet.request_line;
+      escape_field content.Packet.cookie;
+      escape_field content.Packet.body;
+      String.concat "," r.labels;
+    ]
+
+let record_of_line line =
+  match String.split_on_char '\t' line with
+  | [ app_id_s; ip_s; port_s; host_s; rline_s; cookie_s; body_s; labels_s ] -> (
+    let field name v =
+      match unescape_field v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "bad escape in %s field" name)
+    in
+    match
+      ( int_of_string_opt app_id_s,
+        Leakdetect_net.Ipv4.of_string ip_s,
+        int_of_string_opt port_s,
+        field "host" host_s,
+        field "request-line" rline_s,
+        field "cookie" cookie_s,
+        field "body" body_s )
+    with
+    | Some app_id, Some ip, Some port, Ok host, Ok request_line, Ok cookie, Ok body ->
+      let labels = if labels_s = "" then [] else String.split_on_char ',' labels_s in
+      Ok
+        {
+          packet = Packet.v ~ip ~port ~host ~request_line ~cookie ~body;
+          app_id;
+          labels;
+        }
+    | None, _, _, _, _, _, _ -> Error "bad app id"
+    | _, None, _, _, _, _, _ -> Error "bad ip"
+    | _, _, None, _, _, _, _ -> Error "bad port"
+    | _, _, _, (Error _ as e), _, _, _ | _, _, _, _, (Error _ as e), _, _
+    | _, _, _, _, _, (Error _ as e), _ | _, _, _, _, _, _, (Error _ as e) ->
+      (match e with Error m -> Error m | Ok _ -> assert false))
+  | fields -> Error (Printf.sprintf "expected 8 fields, got %d" (List.length fields))
+
+let save path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (record_to_line r);
+          output_char oc '\n')
+        records)
+
+let fold path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok acc
+        | line -> (
+          match record_of_line line with
+          | Ok r -> loop (lineno + 1) (f acc r)
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+      in
+      loop 1 init)
+
+let load path =
+  Result.map List.rev (fold path ~init:[] ~f:(fun acc r -> r :: acc))
+
+let iter path ~f = fold path ~init:() ~f:(fun () r -> f r)

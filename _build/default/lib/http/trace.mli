@@ -1,0 +1,34 @@
+(** Labeled packet traces — the dataset format of the reproduction.
+
+    A record carries the packet, the id of the application that produced it
+    and its ground-truth labels (which sensitive-information kinds the
+    payload carries; empty for benign packets).  Labels are opaque strings
+    here so the format does not depend on the Android model.
+
+    The on-disk format is line-oriented: one record per line, tab-separated
+    fields, with backslash escaping for tab / newline / backslash, making
+    traces greppable and diff-friendly. *)
+
+type record = {
+  packet : Packet.t;
+  app_id : int;
+  labels : string list;
+}
+
+val escape_field : string -> string
+val unescape_field : string -> string option
+
+val record_to_line : record -> string
+val record_of_line : string -> (record, string) result
+
+val save : string -> record list -> unit
+(** Writes a trace file (overwrites). *)
+
+val load : string -> (record list, string) result
+(** Reads a trace file; reports the first malformed line with its number. *)
+
+val fold : string -> init:'a -> f:('a -> record -> 'a) -> ('a, string) result
+(** Streaming left fold over a trace file — constant memory, for traces too
+    large to materialize.  Stops at the first malformed line. *)
+
+val iter : string -> f:(record -> unit) -> (unit, string) result

@@ -1,0 +1,24 @@
+(** Binary trace format.
+
+    The text format ({!Trace}) is greppable but costs escaping and ~30%
+    size; full-scale traces (100k+ packets) are better served by this
+    length-prefixed binary layout:
+
+    - header: magic ["LDTB"], format version (1 byte), record count (u32 LE);
+    - per record: app id (u32), IPv4 (u32), port (u16), then host /
+      request-line / cookie / body / each label as (u32 length, bytes),
+      preceded by a u16 label count.
+
+    All integers little-endian.  {!load} validates the magic, version and
+    every length field against the remaining input. *)
+
+val magic : string
+val version : int
+
+val save : string -> Trace.record list -> unit
+val load : string -> (Trace.record list, string) result
+
+val encode : Trace.record list -> string
+(** In-memory encoding (what {!save} writes). *)
+
+val decode : string -> (Trace.record list, string) result

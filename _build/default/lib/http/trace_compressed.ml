@@ -1,0 +1,26 @@
+let magic = "LDTZ"
+
+let encode records =
+  magic ^ Leakdetect_compress.Lz77.compress (Trace_binary.encode records)
+
+let decode data =
+  if String.length data < 4 || String.sub data 0 4 <> magic then Error "bad magic"
+  else
+    let payload = String.sub data 4 (String.length data - 4) in
+    match Leakdetect_compress.Lz77.decompress payload with
+    | exception Invalid_argument m -> Error m
+    | binary -> Trace_binary.decode binary
+
+let save path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode records))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      decode (really_input_string ic len))

@@ -1,0 +1,14 @@
+(** Compressed trace files: the binary format of {!Trace_binary} wrapped in
+    the repository's own LZ77 coder.  Full-scale traces compress roughly
+    5x thanks to the highly repetitive ad-module templates.
+
+    Layout: magic ["LDTZ"], then the LZ77 stream of a complete
+    {!Trace_binary} document. *)
+
+val magic : string
+
+val save : string -> Trace.record list -> unit
+val load : string -> (Trace.record list, string) result
+
+val encode : Trace.record list -> string
+val decode : string -> (Trace.record list, string) result

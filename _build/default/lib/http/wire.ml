@@ -1,0 +1,51 @@
+let print (r : Request.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Request.request_line r);
+  Buffer.add_string buf "\r\n";
+  let headers =
+    if r.body <> "" && not (Headers.mem r.headers "Content-Length") then
+      Headers.add r.headers "Content-Length" (string_of_int (String.length r.body))
+    else r.headers
+  in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf value;
+      Buffer.add_string buf "\r\n")
+    (Headers.to_list headers);
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.body;
+  Buffer.contents buf
+
+let parse raw =
+  match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n\r\n" raw with
+  | [] -> Error "empty input"
+  | head :: rest ->
+    let body = String.concat "\r\n\r\n" rest in
+    (match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
+    | [] | [ "" ] -> Error "missing request line"
+    | rline :: header_lines ->
+      (match String.split_on_char ' ' rline with
+      | [ meth_s; target; version ] -> (
+        match Request.meth_of_string meth_s with
+        | None -> Error (Printf.sprintf "unsupported method %S" meth_s)
+        | Some meth ->
+          let parse_header acc line =
+            match acc with
+            | Error _ as e -> e
+            | Ok headers -> (
+              match String.index_opt line ':' with
+              | None -> Error (Printf.sprintf "malformed header line %S" line)
+              | Some i ->
+                let name = String.sub line 0 i in
+                let value =
+                  Leakdetect_util.Strutil.trim_spaces
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                Ok (Headers.add headers name value))
+          in
+          (match List.fold_left parse_header (Ok Headers.empty) header_lines with
+          | Error _ as e -> e
+          | Ok headers -> Ok (Request.make ~version ~headers ~body meth target)))
+      | _ -> Error (Printf.sprintf "malformed request line %S" rline)))

@@ -1,0 +1,12 @@
+(** Raw HTTP/1.1 request bytes: printing for the traffic generator and a
+    strict parser for round-trip testing and for feeding externally captured
+    requests into the pipeline. *)
+
+val print : Request.t -> string
+(** Request line, headers, CRLF CRLF, body.  A [Content-Length] header is
+    added for non-empty bodies when absent. *)
+
+val parse : string -> (Request.t, string) result
+(** Parses exactly one request.  The body is everything after the blank
+    line (no chunked encoding).  Errors describe the first offending
+    line. *)

@@ -1,0 +1,1 @@
+lib/monitor/flow_control.ml: Hashtbl Leakdetect_core Leakdetect_http List Option Policy Signature_match

@@ -1,0 +1,1 @@
+lib/monitor/flow_control.mli: Leakdetect_core Leakdetect_http Policy Signature_match

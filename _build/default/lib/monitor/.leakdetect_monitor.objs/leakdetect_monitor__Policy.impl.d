@@ -1,0 +1,1 @@
+lib/monitor/policy.ml: Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/monitor/report.ml: Flow_control Int Leakdetect_http Leakdetect_util List Map Option Set Signature_match String

@@ -1,0 +1,1 @@
+lib/monitor/report.mli: Flow_control

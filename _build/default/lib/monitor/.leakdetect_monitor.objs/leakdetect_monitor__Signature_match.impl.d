@@ -1,0 +1,1 @@
+lib/monitor/signature_match.ml: Format Leakdetect_core List

@@ -1,0 +1,1 @@
+lib/monitor/signature_match.mli: Format Leakdetect_core

@@ -1,0 +1,1 @@
+lib/monitor/signature_server.ml: Leakdetect_core Leakdetect_http Leakdetect_net List Option Printf String

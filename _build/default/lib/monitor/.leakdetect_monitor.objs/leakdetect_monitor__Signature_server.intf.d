@@ -1,0 +1,1 @@
+lib/monitor/signature_server.mli: Leakdetect_core Leakdetect_http

@@ -1,0 +1,98 @@
+module Detector = Leakdetect_core.Detector
+
+type decision = Allowed | Blocked | Prompted of bool
+
+let decision_to_string = function
+  | Allowed -> "allowed"
+  | Blocked -> "blocked"
+  | Prompted true -> "prompted:sent"
+  | Prompted false -> "prompted:stopped"
+
+type event = {
+  seq : int;
+  app_id : int;
+  packet : Leakdetect_http.Packet.t;
+  matched : Signature_match.t option;
+  decision : decision;
+}
+
+type t = {
+  policy : Policy.t;
+  prompt_budget : int option;
+  on_prompt : app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool;
+  prompt_counts : (int, int) Hashtbl.t;
+  last_answers : (int, bool) Hashtbl.t;
+  mutable detector : Detector.t;
+  mutable events : event list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let deny_all ~app_id:_ _packet _match = false
+
+let create ?(policy = Policy.create ()) ?prompt_budget ?(on_prompt = deny_all) signatures =
+  {
+    policy;
+    prompt_budget;
+    on_prompt;
+    prompt_counts = Hashtbl.create 16;
+    last_answers = Hashtbl.create 16;
+    detector = Detector.create signatures;
+    events = [];
+    next_seq = 0;
+  }
+
+let prompts_for t ~app_id =
+  Option.value ~default:0 (Hashtbl.find_opt t.prompt_counts app_id)
+
+let update_signatures t signatures = t.detector <- Detector.create signatures
+
+let process t ~app_id packet =
+  let matched =
+    Option.map Signature_match.of_signature (Detector.first_match t.detector packet)
+  in
+  let rule = Policy.rule_for t.policy ~app_id in
+  let action =
+    match matched with
+    | Some _ -> rule.Policy.on_sensitive
+    | None -> rule.Policy.on_benign
+  in
+  let decision =
+    match (action, matched) with
+    | Policy.Allow, _ -> Allowed
+    | Policy.Block, _ -> Blocked
+    | Policy.Prompt, Some m -> (
+      let over_budget =
+        match t.prompt_budget with
+        | Some budget -> prompts_for t ~app_id >= budget
+        | None -> false
+      in
+      if over_budget then
+        (* Apply the user's sticky answer without interrupting again. *)
+        match Hashtbl.find_opt t.last_answers app_id with
+        | Some true -> Allowed
+        | Some false | None -> Blocked
+      else begin
+        Hashtbl.replace t.prompt_counts app_id (prompts_for t ~app_id + 1);
+        let answer = t.on_prompt ~app_id packet m in
+        Hashtbl.replace t.last_answers app_id answer;
+        Prompted answer
+      end)
+    | Policy.Prompt, None ->
+      (* Prompting without a match gives the user nothing to judge;
+         treat as allow. *)
+      Allowed
+  in
+  t.events <- { seq = t.next_seq; app_id; packet; matched; decision } :: t.events;
+  t.next_seq <- t.next_seq + 1;
+  decision
+
+let log t = List.rev t.events
+
+let stats t =
+  List.fold_left
+    (fun (a, b, p) e ->
+      match e.decision with
+      | Allowed -> (a + 1, b, p)
+      | Blocked -> (a, b + 1, p)
+      | Prompted _ -> (a, b, p + 1))
+    (0, 0, 0) t.events

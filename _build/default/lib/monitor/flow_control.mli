@@ -1,0 +1,56 @@
+(** The on-device information-flow-control application of Figure 3(b).
+
+    It holds the signature set fetched from the generation server, inspects
+    every outgoing HTTP packet of every application, consults the
+    per-application policy, and returns a decision.  Everything is plain
+    user-space logic — the point of the paper's design is that no Android
+    framework modification or special privilege is needed.
+
+    Prompts are resolved by a callback so that library users (CLI, tests,
+    example apps) can model the human answer. *)
+
+type decision = Allowed | Blocked | Prompted of bool  (** [Prompted true] = user let it through. *)
+
+val decision_to_string : decision -> string
+
+type event = {
+  seq : int;
+  app_id : int;
+  packet : Leakdetect_http.Packet.t;
+  matched : Signature_match.t option;
+  decision : decision;
+}
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?prompt_budget:int ->
+  ?on_prompt:(app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool) ->
+  Leakdetect_core.Signature.t list ->
+  t
+(** [create signatures] builds a monitor with the default policy (prompt on
+    sensitive) and a prompt callback that denies transmission — the safe
+    default for an unattended device.
+
+    [prompt_budget] caps how many times any single application may prompt
+    the user; past the cap the app's most recent answer is applied silently
+    (the paper's usability concern: "users will be continually bothered by
+    unnecessary warnings" if prompts are unbounded).  Default: unlimited. *)
+
+val prompts_for : t -> app_id:int -> int
+(** How many times the given app has prompted so far. *)
+
+val update_signatures : t -> Leakdetect_core.Signature.t list -> unit
+(** Fetch-and-replace, as the device would periodically do from the
+    server. *)
+
+val process : t -> app_id:int -> Leakdetect_http.Packet.t -> decision
+(** Inspect one outgoing packet, record the event, return the decision. *)
+
+val log : t -> event list
+(** All events, oldest first. *)
+
+val stats : t -> int * int * int
+(** (allowed, blocked, prompted) counts over the log; a prompt counts as
+    prompted regardless of the user's answer. *)

@@ -1,0 +1,12 @@
+type t = { signature_id : int; tokens : string list; cluster_size : int }
+
+let of_signature (s : Leakdetect_core.Signature.t) =
+  {
+    signature_id = s.Leakdetect_core.Signature.id;
+    tokens = s.Leakdetect_core.Signature.tokens;
+    cluster_size = s.Leakdetect_core.Signature.cluster_size;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "signature #%d (%d tokens, cluster of %d)" t.signature_id
+    (List.length t.tokens) t.cluster_size

@@ -1,0 +1,10 @@
+(** What the monitor knows about why a packet was flagged. *)
+
+type t = {
+  signature_id : int;
+  tokens : string list;
+  cluster_size : int;
+}
+
+val of_signature : Leakdetect_core.Signature.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Http = Leakdetect_http
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+
+type t = { mutable version : int; mutable signatures : Signature.t list }
+
+let create () = { version = 0; signatures = [] }
+
+let publish t signatures =
+  t.version <- t.version + 1;
+  t.signatures <- signatures;
+  t.version
+
+let current_version t = t.version
+let endpoint = "/signatures"
+
+let body_of t =
+  String.concat "\n" (List.map Signature_io.to_line t.signatures)
+
+let handle t (request : Http.Request.t) =
+  let path, _ = Leakdetect_net.Url.split_path_query request.Http.Request.target in
+  if request.Http.Request.meth <> Http.Request.GET then Http.Response.make 400
+  else if path <> endpoint then Http.Response.make 404
+  else begin
+    let since =
+      match List.assoc_opt "since" (Http.Request.query_params request) with
+      | Some v -> int_of_string_opt v
+      | None -> Some 0
+    in
+    match since with
+    | None -> Http.Response.make 400
+    | Some since when since >= t.version -> Http.Response.make 304
+    | Some _ ->
+      let headers =
+        Http.Headers.of_list
+          [ ("X-Signature-Version", string_of_int t.version);
+            ("Content-Type", "text/tab-separated-values") ]
+      in
+      Http.Response.make ~headers ~body:(body_of t) 200
+  end
+
+let fetch t ~since =
+  let request =
+    Http.Request.make
+      ~headers:(Http.Headers.of_list [ ("Host", "sigserver.local") ])
+      Http.Request.GET
+      (Printf.sprintf "%s?since=%d" endpoint since)
+  in
+  (* Round-trip through wire bytes, as a real deployment would. *)
+  match Http.Wire.parse (Http.Wire.print request) with
+  | Error e -> Error ("request corrupt: " ^ e)
+  | Ok request -> (
+    let response = handle t request in
+    match Http.Response.parse (Http.Response.print response) with
+    | Error e -> Error ("response corrupt: " ^ e)
+    | Ok response -> (
+      match response.Http.Response.status with
+      | 304 -> Ok None
+      | 200 -> (
+        let version =
+          Option.bind
+            (Http.Headers.get response.Http.Response.headers "X-Signature-Version")
+            int_of_string_opt
+        in
+        match version with
+        | None -> Error "missing version header"
+        | Some version ->
+          let lines =
+            if response.Http.Response.body = "" then []
+            else String.split_on_char '\n' response.Http.Response.body
+          in
+          let rec parse_all acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest -> (
+              match Signature_io.of_line line with
+              | Ok s -> parse_all (s :: acc) rest
+              | Error e -> Error e)
+          in
+          (match parse_all [] lines with
+          | Ok signatures -> Ok (Some (version, signatures))
+          | Error e -> Error ("bad signature line: " ^ e)))
+      | status -> Error (Printf.sprintf "unexpected status %d" status)))

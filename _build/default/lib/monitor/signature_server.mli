@@ -1,0 +1,34 @@
+(** The signature-distribution side of Figure 3: the server publishes
+    versioned signature sets and devices fetch updates over plain HTTP.
+
+    [handle] implements the server endpoint on actual request/response
+    values; [fetch] is the device-side client that builds the request,
+    parses the response body (the {!Leakdetect_core.Signature_io} line
+    format) and reports whether anything changed.  The tests drive the two
+    against each other through printed wire bytes. *)
+
+type t
+
+val create : unit -> t
+
+val publish : t -> Leakdetect_core.Signature.t list -> int
+(** Installs a new signature set; returns the new version (starting at 1). *)
+
+val current_version : t -> int
+(** 0 before the first {!publish}. *)
+
+val endpoint : string
+(** Request path, ["/signatures"]. *)
+
+val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
+(** [GET /signatures?since=V]:
+    - [200] with version header and signature body when [V] is older than
+      the current version;
+    - [304] when the device is up to date;
+    - [400] on a malformed request, [404] on unknown paths. *)
+
+val fetch :
+  t -> since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result
+(** Device-side update check, round-tripped through the printed wire
+    representation of the request and response.  [Ok None] means
+    up-to-date. *)

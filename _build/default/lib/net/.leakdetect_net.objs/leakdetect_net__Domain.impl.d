@@ -1,0 +1,1 @@
+lib/net/domain.ml: Leakdetect_text List String

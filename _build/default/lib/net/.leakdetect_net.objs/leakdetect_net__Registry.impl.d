@@ -1,0 +1,1 @@
+lib/net/registry.ml: Ipv4 List String

@@ -1,0 +1,1 @@
+lib/net/registry.mli: Ipv4

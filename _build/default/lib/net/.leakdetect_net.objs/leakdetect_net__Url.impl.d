@@ -1,0 +1,1 @@
+lib/net/url.ml: Buffer Char List Option Printf String

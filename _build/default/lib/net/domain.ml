@@ -1,0 +1,30 @@
+let labels s = String.split_on_char '.' (String.lowercase_ascii s)
+
+let valid_label l =
+  let n = String.length l in
+  n >= 1 && n <= 63
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') l
+  && l.[0] <> '-'
+  && l.[n - 1] <> '-'
+
+let is_valid s =
+  match labels s with
+  | [] | [ _ ] -> false
+  | ls -> List.for_all valid_label ls
+
+(* Enough of the public-suffix list for this domain of traffic: generic
+   TLDs, [jp], and the Japanese second-level registrations that appear in
+   Table II (co.jp, ne.jp, or.jp, ac.jp, go.jp). *)
+let two_label_suffixes = [ [ "co"; "jp" ]; [ "ne"; "jp" ]; [ "or"; "jp" ]; [ "ac"; "jp" ]; [ "go"; "jp" ] ]
+
+let registrable host =
+  let ls = labels host in
+  let rev = List.rev ls in
+  match rev with
+  | tld :: second :: third :: _ when List.mem [ second; tld ] two_label_suffixes ->
+    String.concat "." [ third; second; tld ]
+  | tld :: second :: _ -> String.concat "." [ second; tld ]
+  | _ -> host
+
+let normalized_edit_distance a b =
+  Leakdetect_text.Edit_distance.normalized (String.lowercase_ascii a) (String.lowercase_ascii b)

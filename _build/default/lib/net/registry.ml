@@ -1,0 +1,35 @@
+type allocation = { masked : int; prefix : int; org : string }
+
+type t = allocation list
+(* Invariant: sorted by prefix length, most specific first, so the first
+   matching allocation is the longest-prefix match. *)
+
+let empty = []
+
+let mask_of prefix = if prefix = 0 then 0 else -1 lsl (32 - prefix) land 0xffffffff
+
+let register t ~org ~base ~prefix =
+  if prefix < 0 || prefix > 32 then invalid_arg "Registry.register: bad prefix";
+  let masked = Ipv4.to_int base land mask_of prefix in
+  let without =
+    List.filter (fun a -> not (a.prefix = prefix && a.masked = masked)) t
+  in
+  List.stable_sort
+    (fun a b -> compare b.prefix a.prefix)
+    ({ masked; prefix; org } :: without)
+
+let lookup t ip =
+  let addr = Ipv4.to_int ip in
+  List.find_map
+    (fun a -> if addr land mask_of a.prefix = a.masked then Some a.org else None)
+    t
+
+let same_organization t a b =
+  match (lookup t a, lookup t b) with
+  | Some x, Some y -> Some (String.equal x y)
+  | _ -> None
+
+let size = List.length
+
+let organizations t =
+  List.map (fun a -> a.org) t |> List.sort_uniq compare

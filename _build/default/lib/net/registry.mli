@@ -1,0 +1,31 @@
+(** Address-allocation registry — the WHOIS refinement of Sec. VI.
+
+    The paper notes a weakness of the IP-prefix distance: "two HTTP packets
+    may have close IP addresses but be owned [by] different organizations",
+    and suggests consulting registration information (WHOIS) to confirm the
+    distance.  This module is that registry: a longest-prefix-match table
+    from address blocks to owning organizations, which the distance layer
+    can consult to snap [d_ip] to 0 (same owner) or 1 (different owners)
+    when ownership is known. *)
+
+type t
+
+val empty : t
+
+val register : t -> org:string -> base:Ipv4.t -> prefix:int -> t
+(** Adds an allocation.  Later registrations of the same block override
+    earlier ones; more-specific allocations win at lookup.
+    @raise Invalid_argument on a prefix outside [\[0, 32\]]. *)
+
+val lookup : t -> Ipv4.t -> string option
+(** Owning organization under longest-prefix match. *)
+
+val same_organization : t -> Ipv4.t -> Ipv4.t -> bool option
+(** [Some true] / [Some false] when both addresses are registered, [None]
+    when either is unknown. *)
+
+val size : t -> int
+(** Number of registered allocations. *)
+
+val organizations : t -> string list
+(** Distinct owners, sorted. *)

@@ -1,0 +1,1 @@
+lib/text/aho_corasick.mli:

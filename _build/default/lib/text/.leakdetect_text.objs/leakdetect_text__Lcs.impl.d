@@ -1,0 +1,1 @@
+lib/text/lcs.ml: Array Char Hashtbl Int List Map Search String Suffix_automaton

@@ -1,0 +1,1 @@
+lib/text/search.ml: Array Option String

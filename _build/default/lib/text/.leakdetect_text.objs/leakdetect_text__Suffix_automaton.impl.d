@@ -1,0 +1,1 @@
+lib/text/suffix_automaton.ml: Array Hashtbl String

@@ -1,0 +1,1 @@
+lib/text/suffix_automaton.mli:

@@ -1,0 +1,1 @@
+lib/text/tokens.ml: Lcs List Search String

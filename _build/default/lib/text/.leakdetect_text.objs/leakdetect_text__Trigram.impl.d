@@ -1,0 +1,1 @@
+lib/text/trigram.ml: Char Float Hashtbl Int Map String

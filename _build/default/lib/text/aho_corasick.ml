@@ -1,0 +1,107 @@
+(* Classic Aho-Corasick over the byte alphabet.  Transitions are stored in
+   per-node 256-entry arrays: the automata built here are small (signature
+   tokens), so the memory trade for O(1) transitions is cheap. *)
+
+type node = {
+  next : int array;  (* goto; -1 = undefined during build *)
+  mutable fail : int;
+  mutable outputs : int list;  (* pattern ids ending here *)
+}
+
+(* Minimal growable vector (Dynarray arrives only in OCaml 5.2). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let grown = Array.make (2 * t.len) t.dummy in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i = t.data.(i)
+  let length t = t.len
+end
+
+type t = { nodes : node Vec.t; n_patterns : int }
+
+let new_node () = { next = Array.make 256 (-1); fail = 0; outputs = [] }
+
+let build patterns =
+  List.iter (fun p -> if p = "" then invalid_arg "Aho_corasick.build: empty pattern") patterns;
+  let nodes = Vec.create (new_node ()) in
+  Vec.push nodes (new_node ());
+  (* Trie construction. *)
+  List.iteri
+    (fun id pattern ->
+      let state = ref 0 in
+      String.iter
+        (fun c ->
+          let b = Char.code c in
+          let node = Vec.get nodes !state in
+          if node.next.(b) < 0 then begin
+            Vec.push nodes (new_node ());
+            node.next.(b) <- Vec.length nodes - 1
+          end;
+          state := node.next.(b))
+        pattern;
+      let final = Vec.get nodes !state in
+      final.outputs <- id :: final.outputs)
+    patterns;
+  (* BFS for failure links; also complete the goto function so that every
+     transition is defined (next.(b) >= 0 everywhere after this pass). *)
+  let queue = Queue.create () in
+  let root = Vec.get nodes 0 in
+  Array.iteri
+    (fun b target ->
+      if target < 0 then root.next.(b) <- 0
+      else begin
+        (Vec.get nodes target).fail <- 0;
+        Queue.add target queue
+      end)
+    root.next;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let node = Vec.get nodes s in
+    let fail_node = Vec.get nodes node.fail in
+    node.outputs <- node.outputs @ fail_node.outputs;
+    Array.iteri
+      (fun b target ->
+        if target < 0 then node.next.(b) <- fail_node.next.(b)
+        else begin
+          (Vec.get nodes target).fail <- fail_node.next.(b);
+          Queue.add target queue
+        end)
+      node.next
+  done;
+  { nodes; n_patterns = List.length patterns }
+
+let pattern_count t = t.n_patterns
+
+let iter_matches t text f =
+  let state = ref 0 in
+  String.iteri
+    (fun i c ->
+      let node = Vec.get t.nodes !state in
+      state := node.next.(Char.code c);
+      match (Vec.get t.nodes !state).outputs with
+      | [] -> ()
+      | outputs -> List.iter (fun id -> f id (i + 1)) outputs)
+    text
+
+let matched_set t text =
+  let seen = Array.make t.n_patterns false in
+  iter_matches t text (fun id _ -> seen.(id) <- true);
+  seen
+
+exception Found
+
+let matches_any t text =
+  try
+    iter_matches t text (fun _ _ -> raise Found);
+    false
+  with Found -> true

@@ -1,0 +1,27 @@
+(** Aho-Corasick multi-pattern matching.
+
+    The detector checks every packet against every token of every signature;
+    scanning each token separately makes whole-trace detection quadratic in
+    practice.  This automaton finds all occurrences of all patterns in one
+    pass over the packet, after which conjunction signatures reduce to set
+    membership. *)
+
+type t
+
+val build : string list -> t
+(** [build patterns] compiles the automaton.  Pattern ids are positions in
+    the list.  Duplicate patterns are allowed (each id reports separately).
+    @raise Invalid_argument on an empty pattern. *)
+
+val pattern_count : t -> int
+
+val matched_set : t -> string -> bool array
+(** [matched_set t text] has [true] at index [i] iff pattern [i] occurs in
+    [text].  One pass over [text]. *)
+
+val iter_matches : t -> string -> (int -> int -> unit) -> unit
+(** [iter_matches t text f] calls [f id end_pos] for every occurrence of
+    every pattern, where [end_pos] is the index one past the occurrence. *)
+
+val matches_any : t -> string -> bool
+(** Early-exit occurrence test. *)

@@ -1,0 +1,112 @@
+(* Standard online suffix-automaton construction.  States carry [len] (the
+   longest string of the state), [link] (suffix link) and a byte-indexed
+   transition table stored as a Hashtbl (the automata are built per cluster
+   member, so sparse storage wins over 256-entry arrays). *)
+
+type state = {
+  mutable len : int;
+  mutable link : int;
+  trans : (char, int) Hashtbl.t;
+}
+
+type t = { mutable states : state array; mutable n_states : int; mutable last : int; src_len : int }
+
+let mk_state len link = { len; link; trans = Hashtbl.create 4 }
+
+let add_state t st =
+  if t.n_states = Array.length t.states then begin
+    let grown = Array.make (2 * t.n_states) st in
+    Array.blit t.states 0 grown 0 t.n_states;
+    t.states <- grown
+  end;
+  t.states.(t.n_states) <- st;
+  t.n_states <- t.n_states + 1;
+  t.n_states - 1
+
+let extend t c =
+  let cur = add_state t (mk_state (t.states.(t.last).len + 1) (-1)) in
+  let p = ref t.last in
+  while !p >= 0 && not (Hashtbl.mem t.states.(!p).trans c) do
+    Hashtbl.replace t.states.(!p).trans c cur;
+    p := t.states.(!p).link
+  done;
+  if !p < 0 then t.states.(cur).link <- 0
+  else begin
+    let q = Hashtbl.find t.states.(!p).trans c in
+    if t.states.(q).len = t.states.(!p).len + 1 then t.states.(cur).link <- q
+    else begin
+      (* Clone q with the shorter length. *)
+      let clone =
+        add_state t
+          { len = t.states.(!p).len + 1;
+            link = t.states.(q).link;
+            trans = Hashtbl.copy t.states.(q).trans }
+      in
+      while !p >= 0 && Hashtbl.find_opt t.states.(!p).trans c = Some q do
+        Hashtbl.replace t.states.(!p).trans c clone;
+        p := t.states.(!p).link
+      done;
+      t.states.(q).link <- clone;
+      t.states.(cur).link <- clone
+    end
+  end;
+  t.last <- cur
+
+let build s =
+  let t =
+    { states = Array.make 16 (mk_state 0 (-1)); n_states = 0; last = 0;
+      src_len = String.length s }
+  in
+  ignore (add_state t (mk_state 0 (-1)));
+  String.iter (fun c -> extend t c) s;
+  t
+
+let source_length t = t.src_len
+
+let is_substring t s =
+  let state = ref 0 in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !ok then
+        match Hashtbl.find_opt t.states.(!state).trans c with
+        | Some next -> state := next
+        | None -> ok := false)
+    s;
+  !ok
+
+let longest_common_substring t s =
+  (* Classic walk: keep the current match length; on a miss follow suffix
+     links until a transition exists. *)
+  let best_len = ref 0 and best_end = ref 0 in
+  let state = ref 0 and len = ref 0 in
+  String.iteri
+    (fun i c ->
+      let rec step () =
+        match Hashtbl.find_opt t.states.(!state).trans c with
+        | Some next ->
+          state := next;
+          incr len
+        | None ->
+          if t.states.(!state).link < 0 then len := 0
+          else begin
+            state := t.states.(!state).link;
+            len := t.states.(!state).len;
+            step ()
+          end
+      in
+      step ();
+      if !len > !best_len then begin
+        best_len := !len;
+        best_end := i + 1
+      end)
+    s;
+  if !best_len = 0 then (0, 0) else (!best_end - !best_len, !best_len)
+
+let count_distinct_substrings t =
+  (* Sum over non-initial states of len(v) - len(link(v)). *)
+  let total = ref 0 in
+  for v = 1 to t.n_states - 1 do
+    total := !total + t.states.(v).len - t.states.(t.states.(v).link).len
+  done;
+  !total

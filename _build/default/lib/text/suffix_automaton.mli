@@ -1,0 +1,27 @@
+(** Suffix automaton (Blumer et al. / Crochemore's DAWG construction).
+
+    Recognizes exactly the substrings of the string it was built from, in
+    time linear in the query.  Token extraction computes longest common
+    substrings over cluster contents; the automaton gives an O(|a| + |b|)
+    pairwise LCS that {!Lcs} uses as a fast path, with the dynamic-programming
+    implementation kept as the test oracle. *)
+
+type t
+
+val build : string -> t
+(** Online construction, O(n) states and transitions over the byte
+    alphabet. *)
+
+val source_length : t -> int
+
+val is_substring : t -> string -> bool
+(** [is_substring t s] iff [s] occurs in the source string. *)
+
+val longest_common_substring : t -> string -> int * int
+(** [longest_common_substring t s] is [(pos_in_s, len)] of a longest
+    substring of [s] that also occurs in the source; [(0, 0)] when they
+    share nothing. *)
+
+val count_distinct_substrings : t -> int
+(** Number of distinct non-empty substrings of the source (a classic
+    automaton corollary, exposed for testing the construction). *)

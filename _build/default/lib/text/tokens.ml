@@ -1,0 +1,43 @@
+let split_around needle s =
+  match Search.index ~needle s with
+  | None -> None
+  | Some i ->
+    let l = String.sub s 0 i in
+    let rpos = i + String.length needle in
+    let r = String.sub s rpos (String.length s - rpos) in
+    Some (l, r)
+
+let rec extract_rec ~min_len ~depth strings =
+  if depth > 64 then []
+  else
+    match strings with
+    | [] -> []
+    | _ ->
+      let t = Lcs.of_set strings in
+      if String.length t < min_len then []
+      else begin
+        let parts = List.filter_map (split_around t) strings in
+        (* [Lcs.of_set] guarantees the token occurs in every string, so the
+           split never loses a member. *)
+        assert (List.length parts = List.length strings);
+        let lefts = List.map fst parts and rights = List.map snd parts in
+        extract_rec ~min_len ~depth:(depth + 1) lefts
+        @ (t :: extract_rec ~min_len ~depth:(depth + 1) rights)
+      end
+
+let extract ?(min_len = 2) strings =
+  if min_len < 1 then invalid_arg "Tokens.extract: min_len must be >= 1";
+  extract_rec ~min_len ~depth:0 strings
+
+let matches_all ~tokens s =
+  List.for_all (fun t -> Search.contains ~needle:t s) tokens
+
+let matches_ordered ~tokens s =
+  let rec loop from = function
+    | [] -> true
+    | t :: rest -> (
+      match Search.index ~from ~needle:t s with
+      | None -> false
+      | Some i -> loop (i + String.length t) rest)
+  in
+  loop 0 tokens

@@ -1,0 +1,22 @@
+(** Invariant-token extraction (Polygraph-style, Newsome et al. S&P'05, which
+    the paper cites as the source of its conjunction signatures).
+
+    Given the packets of one cluster, [extract] returns the ordered sequence
+    of maximal substrings present in every packet: it finds the longest
+    common substring, splits every packet around its first occurrence, and
+    recurses on the left and right fragments.  The resulting token sequence
+    is used both as a conjunction signature (unordered: all tokens must be
+    present) and as an ordered token-subsequence signature. *)
+
+val extract : ?min_len:int -> string list -> string list
+(** [extract ~min_len strings] is the ordered invariant token sequence.
+    Tokens shorter than [min_len] (default 2) are discarded, which prunes the
+    1-byte noise tokens that would otherwise match everything.  Result is
+    [[]] when [strings] is empty or shares nothing long enough. *)
+
+val matches_all : tokens:string list -> string -> bool
+(** Conjunction semantics: every token occurs somewhere in the packet. *)
+
+val matches_ordered : tokens:string list -> string -> bool
+(** Token-subsequence semantics: tokens occur in order, at non-overlapping
+    positions. *)

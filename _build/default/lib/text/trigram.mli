@@ -1,0 +1,35 @@
+(** Byte-trigram profiles and cosine distance.
+
+    The traffic-clustering literature the paper builds on (BotMiner,
+    Perdisci et al.) commonly compares payloads by n-gram statistics rather
+    than compression.  This module provides that comparator for the content
+    -distance ablation: it is an order of magnitude cheaper than NCD but
+    blind to long-range structure. *)
+
+type profile
+(** Sparse trigram frequency vector. *)
+
+val profile : string -> profile
+(** Profile of all overlapping 3-byte windows; strings shorter than 3 bytes
+    produce the empty profile. *)
+
+val cardinality : profile -> int
+(** Number of distinct trigrams. *)
+
+val cosine_similarity : profile -> profile -> float
+(** In [\[0, 1\]]; 0 when either profile is empty. *)
+
+val cosine_distance : string -> string -> float
+(** [1 - cosine_similarity] over fresh profiles, in [\[0, 1\]].  By
+    convention 0 when both strings are shorter than 3 bytes, 1 when exactly
+    one is. *)
+
+module Cache : sig
+  (** Memoizes profiles per string, mirroring the NCD cache's role during
+      matrix construction. *)
+
+  type t
+
+  val create : unit -> t
+  val distance : t -> string -> string -> float
+end

@@ -1,0 +1,66 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let emit_group b0 b1 b2 count =
+    let triple = (b0 lsl 16) lor (b1 lsl 8) lor b2 in
+    Buffer.add_char out alphabet.[(triple lsr 18) land 0x3f];
+    Buffer.add_char out alphabet.[(triple lsr 12) land 0x3f];
+    if count > 1 then Buffer.add_char out alphabet.[(triple lsr 6) land 0x3f]
+    else Buffer.add_char out '=';
+    if count > 2 then Buffer.add_char out alphabet.[triple land 0x3f]
+    else Buffer.add_char out '='
+  in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    emit_group (Char.code s.[!i]) (Char.code s.[!i + 1]) (Char.code s.[!i + 2]) 3;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 -> emit_group (Char.code s.[!i]) 0 0 1
+  | 2 -> emit_group (Char.code s.[!i]) (Char.code s.[!i + 1]) 0 2
+  | _ -> ());
+  Buffer.contents out
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else if n = 0 then Some ""
+  else begin
+    let padding =
+      if s.[n - 2] = '=' then 2 else if s.[n - 1] = '=' then 1 else 0
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let group_padding = if !i + 4 = n then padding else 0 in
+      let digit k =
+        if k >= 4 - group_padding then Some 0
+        else value s.[!i + k]
+      in
+      (match (digit 0, digit 1, digit 2, digit 3) with
+      | Some a, Some b, Some c, Some d ->
+        let triple = (a lsl 18) lor (b lsl 12) lor (c lsl 6) lor d in
+        Buffer.add_char out (Char.chr ((triple lsr 16) land 0xff));
+        if group_padding < 2 then Buffer.add_char out (Char.chr ((triple lsr 8) land 0xff));
+        if group_padding < 1 then Buffer.add_char out (Char.chr (triple land 0xff))
+      | _ -> ok := false);
+      i := !i + 4
+    done;
+    (* '=' may only appear in the final group. *)
+    let early_pad =
+      n > 4 && String.exists (fun c -> c = '=') (String.sub s 0 (n - 4))
+    in
+    if !ok && not early_pad then Some (Buffer.contents out) else None
+  end

@@ -1,0 +1,11 @@
+(** RFC 4648 Base64, implemented from scratch (the sealed toolchain has no
+    base64 package).  Used by the obfuscated-traffic experiment: ad modules
+    that encrypt their payload with a fixed key still produce invariant
+    ciphertext tokens, which the paper argues its signatures can catch
+    (Sec. VI). *)
+
+val encode : string -> string
+(** Standard alphabet, with [=] padding. *)
+
+val decode : string -> string option
+(** [None] on bad characters, bad padding or bad length. *)

@@ -1,0 +1,11 @@
+(** Minimal RFC-4180 CSV writing, for exporting reproduced tables and series
+    (EXPERIMENTS.md references these exports). *)
+
+val escape_field : string -> string
+(** Quote the field if it contains a comma, quote or newline. *)
+
+val line : string list -> string
+(** One CSV record, without trailing newline. *)
+
+val render : header:string list -> string list list -> string
+(** Full document with header row; rows separated by ['\n']. *)

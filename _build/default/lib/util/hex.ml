@@ -1,0 +1,38 @@
+let digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let out = Bytes.create (n / 2) in
+    let rec loop i =
+      if i = n then Some (Bytes.unsafe_to_string out)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+          Bytes.set out (i / 2) (Char.chr ((hi lsl 4) lor lo));
+          loop (i + 2)
+        | _ -> None
+    in
+    loop 0
+
+let is_hex s =
+  String.length s > 0
+  && String.for_all (fun c -> Option.is_some (nibble c)) s

@@ -1,0 +1,12 @@
+(** Lowercase hexadecimal encoding, as used for transmitted UDID hashes. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of the bytes of [s]. *)
+
+val decode : string -> string option
+(** [decode s] inverts {!encode}; [None] on odd length or non-hex digits.
+    Accepts both cases. *)
+
+val is_hex : string -> bool
+(** [is_hex s] is true when [s] is non-empty and all characters are hex
+    digits. *)

@@ -1,0 +1,89 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_finite f then
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+    else s ^ ".0"
+  else "null"
+
+let rec emit ~indent ~level buf t =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> Buffer.add_string buf (escape s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        emit ~indent ~level:(level + 1) buf item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        Buffer.add_string buf (escape k);
+        Buffer.add_char buf ':';
+        if indent then Buffer.add_char buf ' ';
+        emit ~indent ~level:(level + 1) buf v)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  emit ~indent:false ~level:0 buf t;
+  Buffer.contents buf
+
+let to_string_pretty t =
+  let buf = Buffer.create 256 in
+  emit ~indent:true ~level:0 buf t;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Minimal JSON emission (no parsing) — the benchmark harness exports its
+    measured results in machine-readable form alongside the plain-text
+    tables, so EXPERIMENTS.md can be regenerated and diffed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; strings are escaped per RFC 8259, non-finite floats
+    become [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering. *)

@@ -1,0 +1,47 @@
+let mean xs =
+  if Array.length xs = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let mean_int xs = mean (Array.map float_of_int xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let fraction_le xs k =
+  if Array.length xs = 0 then 0.
+  else
+    let c = Array.fold_left (fun acc x -> if x <= k then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int (Array.length xs)
+
+let max_int_arr xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_int_arr: empty input";
+  Array.fold_left max xs.(0) xs
+
+let histogram xs =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun x -> Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    xs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type cdf_point = { value : int; count : int; cumulative : int; fraction : float }
+
+let cdf xs =
+  let total = Array.length xs in
+  let _, points =
+    List.fold_left
+      (fun (cum, acc) (value, count) ->
+        let cumulative = cum + count in
+        let fraction =
+          if total = 0 then 0. else float_of_int cumulative /. float_of_int total
+        in
+        (cumulative, { value; count; cumulative; fraction } :: acc))
+      (0, []) (histogram xs)
+  in
+  List.rev points

@@ -1,0 +1,29 @@
+(** Small string helpers shared across the codebase. *)
+
+val split_on_string : sep:string -> string -> string list
+(** [split_on_string ~sep s] splits [s] on every non-overlapping occurrence of
+    the non-empty separator [sep].  [split_on_string ~sep ""] is [[""]]. *)
+
+val chop_prefix : prefix:string -> string -> string option
+(** [chop_prefix ~prefix s] removes a leading [prefix], if present. *)
+
+val chop_suffix : suffix:string -> string -> string option
+
+val trim_spaces : string -> string
+(** Trim ASCII space and tab from both ends. *)
+
+val take : int -> string -> string
+(** [take n s] is the first [min n (length s)] characters. *)
+
+val repeat : string -> int -> string
+(** [repeat s n] concatenates [n] copies of [s]. *)
+
+val common_prefix_len : string -> string -> int
+(** Length of the longest common prefix. *)
+
+val is_printable_ascii : string -> bool
+(** True when every byte is in [\[0x20, 0x7e\]]. *)
+
+val truncate_middle : int -> string -> string
+(** [truncate_middle width s] shortens [s] to at most [width] characters,
+    eliding the middle with ["..."], for display purposes. *)

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Bitio Char Compressor Huffman Leakdetect_compress Leakdetect_util List Lz77 Lzw Option Printf QCheck QCheck_alcotest String

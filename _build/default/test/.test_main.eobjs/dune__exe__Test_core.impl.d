@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Leakdetect_cluster Leakdetect_core Leakdetect_http Leakdetect_net Leakdetect_util List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Digest Gen Leakdetect_crypto List Md5 Printf QCheck QCheck_alcotest Sha1 String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Fun Lazy Leakdetect_android Leakdetect_core Leakdetect_http Leakdetect_monitor Leakdetect_util List Sys

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Char Domain Gen Ipv4 Leakdetect_net Option QCheck QCheck_alcotest Url

@@ -1,0 +1,1 @@
+test/test_text.ml: Aho_corasick Alcotest Array Edit_distance Float Gen Hashtbl Lcs Leakdetect_text List Printf QCheck QCheck_alcotest Search String Suffix_automaton Tokens Trigram

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Float Fun Gen Hashtbl Hex Int64 Json Leakdetect_text Leakdetect_util List Prng QCheck QCheck_alcotest Sample Stats String Strutil Table

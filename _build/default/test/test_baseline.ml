@@ -1,0 +1,137 @@
+(* Tests for Leakdetect_baseline and an integration comparison against the
+   paper pipeline. *)
+
+module Baseline = Leakdetect_baseline.Baseline
+module Metrics = Leakdetect_core.Metrics
+module Packet = Leakdetect_http.Packet
+module Ipv4 = Leakdetect_net.Ipv4
+module Prng = Leakdetect_util.Prng
+
+let mk ?(host = "r.ad-maker.info") rline =
+  Packet.v
+    ~ip:(Option.get (Ipv4.of_string "203.104.5.5"))
+    ~port:80 ~host ~request_line:rline ~cookie:"" ~body:""
+
+let leak i =
+  mk (Printf.sprintf "GET /ad?imei=355021930123456&app=a%d&size=320x50 HTTP/1.1" i)
+
+let benign i = mk ~host:"api.example.jp" (Printf.sprintf "GET /feed/%d HTTP/1.1" i)
+
+let test_exact_detects_only_sample () =
+  let suspicious = Array.init 20 leak in
+  let normal = Array.init 20 benign in
+  let sample = Array.sub suspicious 0 5 in
+  let m = Baseline.exact ~sample ~suspicious ~normal in
+  (* Exact matching finds only the 5 sampled packets: TP = (5-5)/(20-5) = 0. *)
+  Alcotest.(check (float 1e-9)) "no generalization" 0. m.Metrics.true_positive;
+  Alcotest.(check (float 1e-9)) "no false positives" 0. m.Metrics.false_positive;
+  Alcotest.(check int) "detected = sample" 5 m.Metrics.counts.Metrics.sensitive_detected
+
+let test_substring_generalizes_no_better_here () =
+  (* Distinct app ids make whole-content substrings match only themselves. *)
+  let suspicious = Array.init 20 leak in
+  let normal = Array.init 20 benign in
+  let sample = Array.sub suspicious 0 5 in
+  let m = Baseline.sample_substring ~sample ~suspicious ~normal in
+  Alcotest.(check int) "still only the sample" 5 m.Metrics.counts.Metrics.sensitive_detected
+
+let test_random_cluster_runs () =
+  let suspicious = Array.init 30 leak in
+  let normal = Array.init 30 benign in
+  let rng = Prng.create 17 in
+  let sample = Array.sub suspicious 0 16 in
+  let m = Baseline.random_cluster ~rng ~sample ~suspicious ~normal () in
+  (* All leaks share the IMEI token, so random clusters still find it. *)
+  Alcotest.(check bool) "finds shared identifier" true (m.Metrics.true_positive > 0.9);
+  Alcotest.(check (float 1e-9)) "clean benign traffic" 0. m.Metrics.false_positive
+
+let test_pipeline_beats_exact () =
+  (* Integration: on a workload slice, the paper pipeline must dominate the
+     exact-match baseline on true positives. *)
+  let ds = Leakdetect_android.Workload.generate ~seed:5 ~scale:0.02 () in
+  let suspicious, normal = Leakdetect_android.Workload.split ds in
+  let rng = Prng.create 23 in
+  let sample = Leakdetect_util.Sample.without_replacement rng 60 suspicious in
+  let exact = Baseline.exact ~sample ~suspicious ~normal in
+  let outcome =
+    Leakdetect_core.Pipeline.run ~rng:(Prng.create 23) ~n:60 ~suspicious ~normal ()
+  in
+  Alcotest.(check bool) "pipeline TP above exact TP" true
+    (outcome.Leakdetect_core.Pipeline.metrics.Metrics.true_positive
+    > exact.Metrics.true_positive +. 0.2)
+
+(* --- Hamsa --- *)
+
+module Hamsa = Leakdetect_baseline.Hamsa
+module Signature = Leakdetect_core.Signature
+
+let test_hamsa_picks_discriminating_token () =
+  let suspicious = Array.init 20 leak in
+  let normal = Array.init 40 benign in
+  let tokens = [ "imei=355021930123456"; "lang=ja"; "GET /" ] in
+  let sigs = Hamsa.generate ~tokens ~suspicious ~benign:normal () in
+  Alcotest.(check bool) "one signature suffices" true (List.length sigs >= 1);
+  let all_tokens = List.concat_map (fun s -> s.Signature.tokens) sigs in
+  Alcotest.(check bool) "identifier chosen" true
+    (List.mem "imei=355021930123456" all_tokens);
+  Alcotest.(check bool) "benign marker not chosen" false (List.mem "lang=ja" all_tokens);
+  let d = Leakdetect_core.Detector.create sigs in
+  Alcotest.(check int) "covers all suspicious" 20
+    (Leakdetect_core.Detector.count_detected d suspicious);
+  Alcotest.(check int) "clean on benign" 0
+    (Leakdetect_core.Detector.count_detected d normal)
+
+let test_hamsa_respects_fp_bound () =
+  (* A token present in most benign traffic must be rejected by the u-bound
+     even though it covers every suspicious packet. *)
+  let suspicious = Array.init 10 (fun i -> mk (Printf.sprintf "GET /x?common=1&i=%d HTTP/1.1" i)) in
+  let normal = Array.init 50 (fun i -> mk ~host:"api.example.jp" (Printf.sprintf "GET /y?common=1&i=%d HTTP/1.1" i)) in
+  let sigs = Hamsa.generate ~tokens:[ "common=1" ] ~suspicious ~benign:normal () in
+  Alcotest.(check int) "nothing selectable" 0 (List.length sigs)
+
+let test_hamsa_multiple_signatures () =
+  (* Two disjoint leak families need two signatures. *)
+  let fam_a i = mk (Printf.sprintf "GET /a?ida=AAAAAA&i=%d HTTP/1.1" i) in
+  let fam_b i = mk (Printf.sprintf "GET /b?idb=BBBBBB&i=%d HTTP/1.1" i) in
+  let suspicious = Array.init 20 (fun i -> if i < 10 then fam_a i else fam_b i) in
+  let normal = Array.init 30 benign in
+  let sigs =
+    Hamsa.generate ~tokens:[ "ida=AAAAAA"; "idb=BBBBBB" ] ~suspicious ~benign:normal ()
+  in
+  Alcotest.(check int) "two signatures" 2 (List.length sigs);
+  let d = Leakdetect_core.Detector.create sigs in
+  Alcotest.(check int) "full coverage" 20
+    (Leakdetect_core.Detector.count_detected d suspicious)
+
+let test_hamsa_empty_tokens () =
+  let suspicious = Array.init 3 leak and normal = Array.init 3 benign in
+  Alcotest.(check int) "no candidates, no signatures" 0
+    (List.length (Hamsa.generate ~tokens:[] ~suspicious ~benign:normal ()))
+
+let test_hamsa_end_to_end () =
+  let ds = Leakdetect_android.Workload.generate ~seed:11 ~scale:0.03 () in
+  let suspicious, normal = Leakdetect_android.Workload.split ds in
+  let m = Hamsa.evaluate ~rng:(Prng.create 4) ~n:150 ~suspicious ~normal () in
+  Alcotest.(check bool) "reasonable TP" true (m.Metrics.true_positive > 0.5);
+  Alcotest.(check bool) "bounded FP" true (m.Metrics.false_positive < 0.1)
+
+let suite =
+  [
+    ( "baseline.hamsa",
+      [
+        Alcotest.test_case "picks discriminating token" `Quick
+          test_hamsa_picks_discriminating_token;
+        Alcotest.test_case "respects FP bound" `Quick test_hamsa_respects_fp_bound;
+        Alcotest.test_case "multiple signatures" `Quick test_hamsa_multiple_signatures;
+        Alcotest.test_case "empty tokens" `Quick test_hamsa_empty_tokens;
+        Alcotest.test_case "end to end" `Slow test_hamsa_end_to_end;
+      ] );
+    ( "baseline",
+      [
+        Alcotest.test_case "exact detects only sample" `Quick test_exact_detects_only_sample;
+        Alcotest.test_case "substring on distinct contents" `Quick
+          test_substring_generalizes_no_better_here;
+        Alcotest.test_case "random clustering" `Quick test_random_cluster_runs;
+        Alcotest.test_case "pipeline beats exact (integration)" `Slow test_pipeline_beats_exact;
+      ] );
+  ]

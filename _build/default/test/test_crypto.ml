@@ -1,0 +1,96 @@
+(* Tests for Leakdetect_crypto: MD5 against the stdlib implementation and
+   SHA-1 against the RFC 3174 / FIPS-180 vectors. *)
+
+open Leakdetect_crypto
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_md5_vectors () =
+  (* RFC 1321 appendix A.5 test suite. *)
+  let cases =
+    [
+      ("", "d41d8cd98f00b204e9800998ecf8427e");
+      ("a", "0cc175b9c0f1b6a831c399e269772661");
+      ("abc", "900150983cd24fb0d6963f7d28e17f72");
+      ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+      ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+      ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "d174ab98d277d9f5a5611c2c9f419d9f" );
+      ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+        "57edf4a22be3c955ac49da2e2107b67a" );
+    ]
+  in
+  List.iter (fun (input, expected) -> Alcotest.(check string) input expected (Md5.hex input)) cases
+
+let prop_md5_matches_stdlib =
+  QCheck.Test.make ~name:"MD5 agrees with stdlib Digest" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s -> Md5.hex s = Digest.to_hex (Digest.string s))
+
+let test_md5_block_boundaries () =
+  (* Lengths around the 64-byte block and 56-byte padding boundaries. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" n)
+        (Digest.to_hex (Digest.string s))
+        (Md5.hex s))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 121; 128; 1000 ]
+
+let test_sha1_vectors () =
+  let cases =
+    [
+      ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+      ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+      ("The quick brown fox jumps over the lazy dog",
+       "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+    ]
+  in
+  List.iter (fun (input, expected) -> Alcotest.(check string) input expected (Sha1.hex input)) cases
+
+let test_sha1_million_a () =
+  (* FIPS 180 long vector: one million 'a' characters. *)
+  Alcotest.(check string) "1e6 x a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha1_block_boundaries () =
+  (* The digest must differ across close lengths (regression guard for
+     padding bugs that collapse nearby inputs). *)
+  let digests = List.map (fun n -> Sha1.hex (String.make n 'y')) [ 55; 56; 57; 63; 64; 65 ] in
+  let distinct = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length distinct)
+
+let prop_digest_lengths =
+  QCheck.Test.make ~name:"digest lengths are fixed" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun s ->
+      String.length (Md5.digest s) = 16
+      && String.length (Sha1.digest s) = 20
+      && String.length (Md5.hex s) = 32
+      && String.length (Sha1.hex s) = 40)
+
+let prop_sha1_injective_sample =
+  QCheck.Test.make ~name:"SHA-1 distinguishes distinct short strings" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 30)) (string_of_size Gen.(0 -- 30)))
+    (fun (a, b) -> a = b || Sha1.hex a <> Sha1.hex b)
+
+let suite =
+  [
+    ( "crypto.md5",
+      [
+        Alcotest.test_case "RFC 1321 vectors" `Quick test_md5_vectors;
+        Alcotest.test_case "block boundaries" `Quick test_md5_block_boundaries;
+        qtest prop_md5_matches_stdlib;
+      ] );
+    ( "crypto.sha1",
+      [
+        Alcotest.test_case "RFC 3174 vectors" `Quick test_sha1_vectors;
+        Alcotest.test_case "million a" `Slow test_sha1_million_a;
+        Alcotest.test_case "block boundaries" `Quick test_sha1_block_boundaries;
+        qtest prop_digest_lengths;
+        qtest prop_sha1_injective_sample;
+      ] );
+  ]

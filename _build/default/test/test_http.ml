@@ -1,0 +1,458 @@
+(* Tests for Leakdetect_http: headers, cookies, requests, wire codec,
+   packets, trace serialization. *)
+
+open Leakdetect_http
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Headers --- *)
+
+let test_headers_case_insensitive () =
+  let h = Headers.of_list [ ("Host", "a.example"); ("Cookie", "k=v") ] in
+  Alcotest.(check (option string)) "exact" (Some "a.example") (Headers.get h "Host");
+  Alcotest.(check (option string)) "lower" (Some "a.example") (Headers.get h "host");
+  Alcotest.(check (option string)) "upper" (Some "k=v") (Headers.get h "COOKIE");
+  Alcotest.(check bool) "mem" true (Headers.mem h "hOsT");
+  Alcotest.(check (option string)) "absent" None (Headers.get h "Accept")
+
+let test_headers_order_preserved () =
+  let h = Headers.empty in
+  let h = Headers.add h "B" "2" in
+  let h = Headers.add h "A" "1" in
+  Alcotest.(check (list (pair string string))) "insertion order"
+    [ ("B", "2"); ("A", "1") ]
+    (Headers.to_list h)
+
+let test_headers_replace_remove () =
+  let h = Headers.of_list [ ("X", "1"); ("Y", "2"); ("x", "3") ] in
+  let r = Headers.replace h "x" "9" in
+  Alcotest.(check (list string)) "replace collapses duplicates" [ "9" ] (Headers.get_all r "X");
+  let d = Headers.remove h "X" in
+  Alcotest.(check int) "remove drops all spellings" 1 (Headers.length d);
+  let added = Headers.replace Headers.empty "New" "v" in
+  Alcotest.(check (option string)) "replace on absent adds" (Some "v") (Headers.get added "new")
+
+(* --- Cookie --- *)
+
+let test_cookie_parse () =
+  Alcotest.(check (list (pair string string))) "two pairs"
+    [ ("a", "1"); ("b", "2") ]
+    (Cookie.parse "a=1; b=2");
+  Alcotest.(check (list (pair string string))) "flag without value" [ ("secure", "") ]
+    (Cookie.parse "secure");
+  Alcotest.(check (list (pair string string))) "empty" [] (Cookie.parse "");
+  Alcotest.(check (option string)) "get" (Some "2") (Cookie.get "a=1; b=2" "b")
+
+let test_cookie_roundtrip () =
+  let pairs = [ ("session", "abc123"); ("uid", "42") ] in
+  Alcotest.(check (list (pair string string))) "roundtrip" pairs
+    (Cookie.parse (Cookie.to_string pairs))
+
+(* --- Request + Wire --- *)
+
+let sample_request () =
+  Request.make
+    ~headers:(Headers.of_list [ ("Host", "r.admob.com"); ("Cookie", "s=1") ])
+    ~body:"" Request.GET "/ad?x=1&y=2"
+
+let test_request_accessors () =
+  let r = sample_request () in
+  Alcotest.(check string) "request line" "GET /ad?x=1&y=2 HTTP/1.1" (Request.request_line r);
+  Alcotest.(check string) "cookie" "s=1" (Request.cookie r);
+  Alcotest.(check (option string)) "host" (Some "r.admob.com") (Request.host r);
+  Alcotest.(check (list (pair string string))) "query" [ ("x", "1"); ("y", "2") ]
+    (Request.query_params r)
+
+let test_wire_print () =
+  let out = Wire.print (sample_request ()) in
+  Alcotest.(check bool) "request line first" true
+    (String.length out > 24 && String.sub out 0 24 = "GET /ad?x=1&y=2 HTTP/1.1");
+  Alcotest.(check bool) "blank line" true
+    (Leakdetect_text.Search.contains ~needle:"\r\n\r\n" out)
+
+let test_wire_content_length () =
+  let r = Request.make ~body:"a=1" Request.POST "/submit" in
+  let out = Wire.print r in
+  Alcotest.(check bool) "adds content-length" true
+    (Leakdetect_text.Search.contains ~needle:"Content-Length: 3" out)
+
+let test_wire_parse_roundtrip () =
+  let r =
+    Request.make
+      ~headers:(Headers.of_list [ ("Host", "x.jp"); ("User-Agent", "t/1.0") ])
+      ~body:"k=v&l=w" Request.POST "/path"
+  in
+  match Wire.parse (Wire.print r) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+    Alcotest.(check string) "method+target" (Request.request_line r) (Request.request_line parsed);
+    Alcotest.(check string) "body" r.Request.body parsed.Request.body;
+    Alcotest.(check (option string)) "host kept" (Some "x.jp") (Request.host parsed)
+
+let test_wire_parse_errors () =
+  let is_err s = match Wire.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "bad method" true (is_err "PUT / HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "bad request line" true (is_err "GEThello\r\n\r\n");
+  Alcotest.(check bool) "bad header" true (is_err "GET / HTTP/1.1\r\nnocolon\r\n\r\n")
+
+let test_wire_parse_body_with_separator () =
+  (* A body containing CRLFCRLF must survive. *)
+  let r = Request.make ~body:"x\r\n\r\ny" Request.POST "/p" in
+  match Wire.parse (Wire.print r) with
+  | Ok parsed -> Alcotest.(check string) "body intact" "x\r\n\r\ny" parsed.Request.body
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* --- Packet --- *)
+
+let sample_packet () =
+  Packet.v
+    ~ip:(Option.get (Leakdetect_net.Ipv4.of_string "74.125.1.2"))
+    ~port:80 ~host:"r.admob.com" ~request_line:"GET /ad HTTP/1.1" ~cookie:"s=1"
+    ~body:""
+
+let test_packet_content_string () =
+  let p = sample_packet () in
+  Alcotest.(check string) "joined with newlines" "GET /ad HTTP/1.1\ns=1\n"
+    (Packet.content_string p)
+
+let test_packet_make_from_request () =
+  let dst =
+    { Packet.ip = Option.get (Leakdetect_net.Ipv4.of_string "1.2.3.4"); port = 80; host = "h.jp" }
+  in
+  let p = Packet.make ~dst ~request:(sample_request ()) in
+  Alcotest.(check string) "request line" "GET /ad?x=1&y=2 HTTP/1.1"
+    p.Packet.content.Packet.request_line;
+  Alcotest.(check string) "cookie pulled from headers" "s=1" p.Packet.content.Packet.cookie
+
+let test_packet_compare_dst () =
+  let d ip port host =
+    { Packet.ip = Option.get (Leakdetect_net.Ipv4.of_string ip); port; host }
+  in
+  Alcotest.(check bool) "equal" true (Packet.compare_dst (d "1.1.1.1" 80 "a") (d "1.1.1.1" 80 "a") = 0);
+  Alcotest.(check bool) "ip dominates" true (Packet.compare_dst (d "1.1.1.1" 99 "z") (d "2.1.1.1" 80 "a") < 0)
+
+(* --- Trace --- *)
+
+let test_trace_escape_roundtrip () =
+  let tricky = "a\tb\nc\\d\re" in
+  Alcotest.(check (option string)) "roundtrip" (Some tricky)
+    (Trace.unescape_field (Trace.escape_field tricky))
+
+let prop_trace_line_roundtrip =
+  let field_gen = QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (0 -- 40)) in
+  QCheck.Test.make ~name:"trace record line roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(triple field_gen field_gen (int_bound 5000)))
+    (fun (rline, body, app_id) ->
+      let record =
+        {
+          Trace.packet =
+            Packet.v
+              ~ip:(Leakdetect_net.Ipv4.of_int 12345)
+              ~port:80 ~host:"h.example.jp" ~request_line:rline ~cookie:"c=1"
+              ~body;
+          app_id;
+          labels = [ "imei"; "carrier" ];
+        }
+      in
+      match Trace.record_of_line (Trace.record_to_line record) with
+      | Ok r ->
+        r.Trace.app_id = record.Trace.app_id
+        && r.Trace.labels = record.Trace.labels
+        && Packet.content_string r.Trace.packet = Packet.content_string record.Trace.packet
+      | Error _ -> false)
+
+let test_trace_bad_lines () =
+  let is_err l = match Trace.record_of_line l with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "wrong arity" true (is_err "a\tb");
+  Alcotest.(check bool) "bad ip" true (is_err "1\tnotip\t80\th\trl\tc\tb\t");
+  Alcotest.(check bool) "bad port" true (is_err "1\t1.2.3.4\tx\th\trl\tc\tb\t");
+  Alcotest.(check bool) "bad app id" true (is_err "x\t1.2.3.4\t80\th\trl\tc\tb\t")
+
+let test_trace_save_load () =
+  let records =
+    List.init 5 (fun i ->
+        {
+          Trace.packet =
+            Packet.v ~ip:(Leakdetect_net.Ipv4.of_int (i * 1000)) ~port:80
+              ~host:(Printf.sprintf "h%d.jp" i)
+              ~request_line:(Printf.sprintf "GET /%d HTTP/1.1" i)
+              ~cookie:"" ~body:(if i mod 2 = 0 then "x\ty" else "");
+          app_id = i;
+          labels = (if i = 0 then [ "imei" ] else []);
+        })
+  in
+  let path = Filename.temp_file "leakdetect_test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path records;
+      match Trace.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok loaded ->
+        Alcotest.(check int) "count" 5 (List.length loaded);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "content"
+              (Packet.content_string a.Trace.packet)
+              (Packet.content_string b.Trace.packet);
+            Alcotest.(check (list string)) "labels" a.Trace.labels b.Trace.labels)
+          records loaded)
+
+(* --- Trace_binary --- *)
+
+let sample_records () =
+  List.init 7 (fun i ->
+      {
+        Trace.packet =
+          Packet.v ~ip:(Leakdetect_net.Ipv4.of_int (i * 99991)) ~port:(80 + i)
+            ~host:(Printf.sprintf "h%d.example.jp" i)
+            ~request_line:(Printf.sprintf "GET /p/%d?x=%d HTTP/1.1" i (i * i))
+            ~cookie:(if i mod 2 = 0 then Printf.sprintf "s=%d" i else "")
+            ~body:(if i mod 3 = 0 then String.make i '\xff' else "");
+        app_id = i * 13;
+        labels = (if i = 2 then [ "imei"; "carrier" ] else []);
+      })
+
+let test_binary_roundtrip () =
+  let records = sample_records () in
+  match Trace_binary.decode (Trace_binary.encode records) with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok loaded ->
+    Alcotest.(check int) "count" (List.length records) (List.length loaded);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check int) "app id" a.Trace.app_id b.Trace.app_id;
+        Alcotest.(check (list string)) "labels" a.Trace.labels b.Trace.labels;
+        Alcotest.(check string) "content"
+          (Packet.content_string a.Trace.packet)
+          (Packet.content_string b.Trace.packet);
+        Alcotest.(check int) "port" a.Trace.packet.Packet.dst.Packet.port
+          b.Trace.packet.Packet.dst.Packet.port)
+      records loaded
+
+let test_binary_file_roundtrip () =
+  let records = sample_records () in
+  let path = Filename.temp_file "leakdetect_bin" ".ldtb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_binary.save path records;
+      match Trace_binary.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok loaded -> Alcotest.(check int) "count" 7 (List.length loaded))
+
+let test_binary_corruption () =
+  let encoded = Trace_binary.encode (sample_records ()) in
+  let is_err s = match Trace_binary.decode s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "truncated" true
+    (is_err (String.sub encoded 0 (String.length encoded - 3)));
+  Alcotest.(check bool) "bad magic" true (is_err ("XXXX" ^ String.sub encoded 4 (String.length encoded - 4)));
+  Alcotest.(check bool) "trailing garbage" true (is_err (encoded ^ "z"));
+  Alcotest.(check bool) "empty" true (is_err "")
+
+let test_binary_empty_list () =
+  match Trace_binary.decode (Trace_binary.encode []) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty"
+  | Error e -> Alcotest.failf "decode: %s" e
+
+let prop_binary_roundtrip =
+  let field = QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (0 -- 30)) in
+  QCheck.Test.make ~name:"binary trace roundtrip (arbitrary bytes)" ~count:200
+    (QCheck.make QCheck.Gen.(triple field field (int_bound 100000)))
+    (fun (host_raw, body, app_id) ->
+      let record =
+        {
+          Trace.packet =
+            Packet.v ~ip:(Leakdetect_net.Ipv4.of_int 77) ~port:80
+              ~host:host_raw ~request_line:"GET / HTTP/1.1" ~cookie:"" ~body;
+          app_id;
+          labels = [ "imsi" ];
+        }
+      in
+      match Trace_binary.decode (Trace_binary.encode [ record ]) with
+      | Ok [ r ] ->
+        r.Trace.app_id = app_id
+        && Packet.content_string r.Trace.packet = Packet.content_string record.Trace.packet
+        && r.Trace.packet.Packet.dst.Packet.host = host_raw
+      | _ -> false)
+
+let test_trace_fold_streaming () =
+  let records =
+    List.init 10 (fun i ->
+        {
+          Trace.packet =
+            Packet.v ~ip:(Leakdetect_net.Ipv4.of_int i) ~port:80 ~host:"h.jp"
+              ~request_line:"GET / HTTP/1.1" ~cookie:"" ~body:"";
+          app_id = i;
+          labels = (if i mod 2 = 0 then [ "imei" ] else []);
+        })
+  in
+  let path = Filename.temp_file "leakdetect_fold" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path records;
+      (match Trace.fold path ~init:0 ~f:(fun acc r -> acc + r.Trace.app_id) with
+      | Ok sum -> Alcotest.(check int) "fold sums app ids" 45 sum
+      | Error e -> Alcotest.failf "fold: %s" e);
+      let count = ref 0 in
+      (match Trace.iter path ~f:(fun r -> if r.Trace.labels <> [] then incr count) with
+      | Ok () -> Alcotest.(check int) "iter counts sensitive" 5 !count
+      | Error e -> Alcotest.failf "iter: %s" e))
+
+let test_trace_fold_stops_on_error () =
+  let path = Filename.temp_file "leakdetect_foldbad" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a record\n";
+      close_out oc;
+      match Trace.fold path ~init:0 ~f:(fun acc _ -> acc + 1) with
+      | Ok _ -> Alcotest.fail "expected error"
+      | Error e ->
+        Alcotest.(check bool) "line number reported" true
+          (Leakdetect_text.Search.contains ~needle:"line 1" e))
+
+(* --- Response --- *)
+
+let test_response_print_parse () =
+  let r =
+    Response.make
+      ~headers:(Headers.of_list [ ("X-Signature-Version", "3") ])
+      ~body:"0\tconjunction\t2\ttok" 200
+  in
+  Alcotest.(check string) "status line" "HTTP/1.1 200 OK" (Response.status_line r);
+  match Response.parse (Response.print r) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok parsed ->
+    Alcotest.(check int) "status" 200 parsed.Response.status;
+    Alcotest.(check (option string)) "header kept" (Some "3")
+      (Headers.get parsed.Response.headers "x-signature-version");
+    Alcotest.(check string) "body" r.Response.body parsed.Response.body;
+    Alcotest.(check bool) "content-length added" true
+      (Headers.mem parsed.Response.headers "Content-Length")
+
+let test_response_reasons () =
+  Alcotest.(check string) "304" "Not Modified" (Response.reason_for 304);
+  Alcotest.(check string) "unknown" "Unknown" (Response.reason_for 299)
+
+let test_response_parse_errors () =
+  let is_err s = match Response.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "bad code" true (is_err "HTTP/1.1 abc OK\r\n\r\n");
+  Alcotest.(check bool) "bad header" true (is_err "HTTP/1.1 200 OK\r\nnocolon\r\n\r\n")
+
+(* --- Trace_compressed --- *)
+
+let test_compressed_roundtrip () =
+  let records = sample_records () in
+  match Trace_compressed.decode (Trace_compressed.encode records) with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok loaded ->
+    Alcotest.(check int) "count" (List.length records) (List.length loaded);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "content"
+          (Packet.content_string a.Trace.packet)
+          (Packet.content_string b.Trace.packet))
+      records loaded
+
+let test_compressed_file_and_size () =
+  (* Repetitive records compress well under the in-repo LZ77. *)
+  let records =
+    List.init 300 (fun i ->
+        {
+          Trace.packet =
+            Packet.v ~ip:(Leakdetect_net.Ipv4.of_int 1234) ~port:80
+              ~host:"r.ad-maker.info"
+              ~request_line:
+                (Printf.sprintf
+                   "GET /ad/sdk/img?aid=jp.co.app%d&imei=355021930123456&size=320x50 HTTP/1.1"
+                   i)
+              ~cookie:"" ~body:"";
+          app_id = i;
+          labels = [ "imei" ];
+        })
+  in
+  let plain = Trace_binary.encode records in
+  let packed = Trace_compressed.encode records in
+  Alcotest.(check bool) "compresses at least 3x" true
+    (String.length packed * 3 < String.length plain);
+  let path = Filename.temp_file "leakdetect_z" ".ldtz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_compressed.save path records;
+      match Trace_compressed.load path with
+      | Ok loaded -> Alcotest.(check int) "file roundtrip" 300 (List.length loaded)
+      | Error e -> Alcotest.failf "load: %s" e)
+
+let test_compressed_corruption () =
+  let is_err s = match Trace_compressed.decode s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "bad magic" true (is_err "NOPE1234");
+  Alcotest.(check bool) "empty" true (is_err "");
+  let ok = Trace_compressed.encode (sample_records ()) in
+  Alcotest.(check bool) "truncated payload" true
+    (is_err (String.sub ok 0 (String.length ok - 5)))
+
+let suite =
+  [
+    ( "http.headers",
+      [
+        Alcotest.test_case "case insensitive" `Quick test_headers_case_insensitive;
+        Alcotest.test_case "order preserved" `Quick test_headers_order_preserved;
+        Alcotest.test_case "replace/remove" `Quick test_headers_replace_remove;
+      ] );
+    ( "http.cookie",
+      [
+        Alcotest.test_case "parse" `Quick test_cookie_parse;
+        Alcotest.test_case "roundtrip" `Quick test_cookie_roundtrip;
+      ] );
+    ( "http.wire",
+      [
+        Alcotest.test_case "request accessors" `Quick test_request_accessors;
+        Alcotest.test_case "print" `Quick test_wire_print;
+        Alcotest.test_case "content-length" `Quick test_wire_content_length;
+        Alcotest.test_case "parse roundtrip" `Quick test_wire_parse_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_wire_parse_errors;
+        Alcotest.test_case "body with CRLFCRLF" `Quick test_wire_parse_body_with_separator;
+      ] );
+    ( "http.packet",
+      [
+        Alcotest.test_case "content string" `Quick test_packet_content_string;
+        Alcotest.test_case "make from request" `Quick test_packet_make_from_request;
+        Alcotest.test_case "compare destinations" `Quick test_packet_compare_dst;
+      ] );
+    ( "http.trace",
+      [
+        Alcotest.test_case "escape roundtrip" `Quick test_trace_escape_roundtrip;
+        Alcotest.test_case "bad lines" `Quick test_trace_bad_lines;
+        Alcotest.test_case "save/load" `Quick test_trace_save_load;
+        Alcotest.test_case "streaming fold/iter" `Quick test_trace_fold_streaming;
+        Alcotest.test_case "fold stops on error" `Quick test_trace_fold_stops_on_error;
+        qtest prop_trace_line_roundtrip;
+      ] );
+    ( "http.response",
+      [
+        Alcotest.test_case "print/parse" `Quick test_response_print_parse;
+        Alcotest.test_case "reasons" `Quick test_response_reasons;
+        Alcotest.test_case "parse errors" `Quick test_response_parse_errors;
+      ] );
+    ( "http.trace_compressed",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_compressed_roundtrip;
+        Alcotest.test_case "file + compression ratio" `Quick test_compressed_file_and_size;
+        Alcotest.test_case "corruption" `Quick test_compressed_corruption;
+      ] );
+    ( "http.trace_binary",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_binary_roundtrip;
+        Alcotest.test_case "file roundtrip" `Quick test_binary_file_roundtrip;
+        Alcotest.test_case "corruption detected" `Quick test_binary_corruption;
+        Alcotest.test_case "empty list" `Quick test_binary_empty_list;
+        qtest prop_binary_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,309 @@
+(* Tests for Leakdetect_monitor: policy store and the Figure 3(b)
+   information-flow-control application. *)
+
+open Leakdetect_monitor
+module Signature = Leakdetect_core.Signature
+module Packet = Leakdetect_http.Packet
+
+let mk ?(rline = "GET /benign HTTP/1.1") () =
+  Packet.v
+    ~ip:(Leakdetect_net.Ipv4.of_int 1000)
+    ~port:80 ~host:"h.jp" ~request_line:rline ~cookie:"" ~body:""
+
+let leak_packet () = mk ~rline:"GET /ad?imei=355021930123456 HTTP/1.1" ()
+
+let signatures =
+  [ Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:2 [ "imei=355021930123456" ] ]
+
+(* --- Policy --- *)
+
+let test_policy_defaults () =
+  let p = Policy.create () in
+  let r = Policy.rule_for p ~app_id:7 in
+  Alcotest.(check string) "sensitive prompts" "prompt" (Policy.action_to_string r.Policy.on_sensitive);
+  Alcotest.(check string) "benign allowed" "allow" (Policy.action_to_string r.Policy.on_benign)
+
+let test_policy_set_remove () =
+  let p = Policy.create () in
+  Policy.set_rule p ~app_id:3 { Policy.on_sensitive = Policy.Block; on_benign = Policy.Allow };
+  Alcotest.(check (list int)) "listed" [ 3 ] (Policy.app_ids p);
+  Alcotest.(check bool) "applied" true
+    ((Policy.rule_for p ~app_id:3).Policy.on_sensitive = Policy.Block);
+  Policy.remove_rule p ~app_id:3;
+  Alcotest.(check (list int)) "removed" [] (Policy.app_ids p);
+  Alcotest.(check bool) "back to default" true
+    ((Policy.rule_for p ~app_id:3).Policy.on_sensitive = Policy.Prompt)
+
+(* --- Flow control --- *)
+
+let test_flow_benign_allowed () =
+  let m = Flow_control.create signatures in
+  Alcotest.(check string) "benign passes" "allowed"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (mk ())))
+
+let test_flow_sensitive_prompts_denied_by_default () =
+  let m = Flow_control.create signatures in
+  Alcotest.(check string) "default prompt denies" "prompted:stopped"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())))
+
+let test_flow_prompt_callback () =
+  let asked = ref 0 in
+  let m =
+    Flow_control.create
+      ~on_prompt:(fun ~app_id:_ _p _m ->
+        incr asked;
+        true)
+      signatures
+  in
+  Alcotest.(check string) "user approves" "prompted:sent"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())));
+  Alcotest.(check int) "callback invoked once" 1 !asked
+
+let test_flow_block_rule () =
+  let policy = Policy.create () in
+  Policy.set_rule policy ~app_id:5
+    { Policy.on_sensitive = Policy.Block; on_benign = Policy.Allow };
+  let m = Flow_control.create ~policy signatures in
+  Alcotest.(check string) "blocked" "blocked"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:5 (leak_packet ())));
+  Alcotest.(check string) "other app still prompts" "prompted:stopped"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:6 (leak_packet ())))
+
+let test_flow_log_and_stats () =
+  let m = Flow_control.create signatures in
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  ignore (Flow_control.process m ~app_id:2 (leak_packet ()));
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  let log = Flow_control.log m in
+  Alcotest.(check int) "three events" 3 (List.length log);
+  Alcotest.(check (list int)) "sequence numbers" [ 0; 1; 2 ]
+    (List.map (fun e -> e.Flow_control.seq) log);
+  let matched =
+    List.filter (fun e -> Option.is_some e.Flow_control.matched) log
+  in
+  Alcotest.(check int) "one match" 1 (List.length matched);
+  let allowed, blocked, prompted = Flow_control.stats m in
+  Alcotest.(check (list int)) "stats" [ 2; 0; 1 ] [ allowed; blocked; prompted ]
+
+let test_flow_signature_update () =
+  let m = Flow_control.create [] in
+  Alcotest.(check string) "no signatures, everything passes" "allowed"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())));
+  Flow_control.update_signatures m signatures;
+  Alcotest.(check string) "after fetch, leak caught" "prompted:stopped"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())))
+
+let test_signature_match_view () =
+  let s = List.hd signatures in
+  let v = Signature_match.of_signature s in
+  Alcotest.(check int) "id" 0 v.Signature_match.signature_id;
+  Alcotest.(check int) "tokens" 1 (List.length v.Signature_match.tokens);
+  Alcotest.(check int) "cluster" 2 v.Signature_match.cluster_size
+
+(* --- Policy persistence --- *)
+
+let test_policy_save_load () =
+  let p = Policy.create () in
+  Policy.set_rule p ~app_id:3 { Policy.on_sensitive = Policy.Block; on_benign = Policy.Allow };
+  Policy.set_rule p ~app_id:9 { Policy.on_sensitive = Policy.Allow; on_benign = Policy.Allow };
+  let path = Filename.temp_file "leakdetect_policy" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Policy.save p path;
+      match Policy.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok loaded ->
+        Alcotest.(check (list int)) "app ids" [ 3; 9 ] (Policy.app_ids loaded);
+        Alcotest.(check bool) "rule preserved" true
+          ((Policy.rule_for loaded ~app_id:3).Policy.on_sensitive = Policy.Block);
+        Alcotest.(check bool) "default preserved" true
+          ((Policy.rule_for loaded ~app_id:999).Policy.on_sensitive = Policy.Prompt))
+
+let test_policy_load_errors () =
+  let check_error content expected_substring =
+    let path = Filename.temp_file "leakdetect_policy_bad" ".tsv" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Policy.load path with
+        | Ok _ -> Alcotest.failf "expected error for %S" content
+        | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %s" expected_substring)
+            true
+            (Leakdetect_text.Search.contains ~needle:expected_substring e))
+  in
+  check_error "" "missing default";
+  check_error "3\tblock\tallow\n" "default rule first";
+  check_error "default\tblock\tallow\ndefault\tallow\tallow\n" "duplicate";
+  check_error "default\tblock\tallow\nx\tblock\tallow\n" "bad app id"
+
+(* --- Prompt budget --- *)
+
+let test_prompt_budget () =
+  (* App 1 consumes two answers, app 2 one; any further prompt fails. *)
+  let answers = ref [ true; false; true ] in
+  let on_prompt ~app_id:_ _p _m =
+    match !answers with
+    | a :: rest ->
+      answers := rest;
+      a
+    | [] -> Alcotest.fail "prompted beyond budget"
+  in
+  let m = Flow_control.create ~prompt_budget:2 ~on_prompt signatures in
+  (* First two leaks prompt; third applies the sticky last answer (false). *)
+  Alcotest.(check string) "first" "prompted:sent"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())));
+  Alcotest.(check string) "second" "prompted:stopped"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())));
+  Alcotest.(check string) "third silently blocked" "blocked"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:1 (leak_packet ())));
+  Alcotest.(check int) "two prompts recorded" 2 (Flow_control.prompts_for m ~app_id:1);
+  (* Another app has its own budget. *)
+  let d = Flow_control.process m ~app_id:2 (leak_packet ()) in
+  Alcotest.(check bool) "other app still prompts" true
+    (match d with Flow_control.Prompted _ -> true | _ -> false)
+
+let test_prompt_budget_sticky_allow () =
+  let m =
+    Flow_control.create ~prompt_budget:1
+      ~on_prompt:(fun ~app_id:_ _ _ -> true)
+      signatures
+  in
+  ignore (Flow_control.process m ~app_id:7 (leak_packet ()));
+  Alcotest.(check string) "sticky allow" "allowed"
+    (Flow_control.decision_to_string (Flow_control.process m ~app_id:7 (leak_packet ())))
+
+(* --- Report --- *)
+
+let test_report_per_app () =
+  let m = Flow_control.create signatures in
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  ignore (Flow_control.process m ~app_id:1 (leak_packet ()));
+  ignore (Flow_control.process m ~app_id:2 (leak_packet ()));
+  ignore (Flow_control.process m ~app_id:2 (leak_packet ()));
+  ignore (Flow_control.process m ~app_id:3 (mk ()));
+  let summaries = Report.per_app m in
+  Alcotest.(check int) "three apps" 3 (List.length summaries);
+  let top = List.hd summaries in
+  Alcotest.(check int) "most suspicious first" 2 top.Report.app_id;
+  Alcotest.(check int) "flagged count" 2 top.Report.flagged;
+  Alcotest.(check int) "prompted count" 2 top.Report.prompted;
+  Alcotest.(check (list string)) "destinations" [ "h.jp" ] top.Report.destinations;
+  Alcotest.(check (list int)) "signature ids" [ 0 ] top.Report.signature_ids;
+  let clean = List.find (fun s -> s.Report.app_id = 3) summaries in
+  Alcotest.(check int) "clean app unflagged" 0 clean.Report.flagged
+
+let test_report_render () =
+  let m = Flow_control.create signatures in
+  ignore (Flow_control.process m ~app_id:9 (leak_packet ()));
+  let out = Report.render m in
+  Alcotest.(check bool) "mentions app" true
+    (Leakdetect_text.Search.contains ~needle:"9" out);
+  Alcotest.(check bool) "has header" true
+    (Leakdetect_text.Search.contains ~needle:"Most suspicious" out)
+
+let test_report_limit () =
+  let m = Flow_control.create signatures in
+  for app_id = 0 to 9 do
+    ignore (Flow_control.process m ~app_id (leak_packet ()))
+  done;
+  Alcotest.(check int) "limit respected" 4 (List.length (Report.most_suspicious ~limit:4 m))
+
+(* --- Signature_server --- *)
+
+let test_server_fetch_cycle () =
+  let server = Signature_server.create () in
+  Alcotest.(check int) "initial version" 0 (Signature_server.current_version server);
+  (* Device checks before anything is published: up to date. *)
+  (match Signature_server.fetch server ~since:0 with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "expected up-to-date");
+  let v1 = Signature_server.publish server signatures in
+  Alcotest.(check int) "published v1" 1 v1;
+  (match Signature_server.fetch server ~since:0 with
+  | Ok (Some (v, sigs)) ->
+    Alcotest.(check int) "fetched version" 1 v;
+    Alcotest.(check int) "signature count" (List.length signatures) (List.length sigs);
+    Alcotest.(check (list string)) "tokens preserved"
+      (List.concat_map (fun s -> s.Signature.tokens) signatures)
+      (List.concat_map (fun s -> s.Signature.tokens) sigs)
+  | Ok None -> Alcotest.fail "expected update"
+  | Error e -> Alcotest.failf "fetch: %s" e);
+  (match Signature_server.fetch server ~since:1 with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "expected 304 path")
+
+let test_server_http_statuses () =
+  let server = Signature_server.create () in
+  ignore (Signature_server.publish server signatures);
+  let get target =
+    (Signature_server.handle server
+       (Leakdetect_http.Request.make Leakdetect_http.Request.GET target))
+      .Leakdetect_http.Response.status
+  in
+  Alcotest.(check int) "fresh fetch" 200 (get "/signatures?since=0");
+  Alcotest.(check int) "up to date" 304 (get "/signatures?since=1");
+  Alcotest.(check int) "bad since" 400 (get "/signatures?since=abc");
+  Alcotest.(check int) "unknown path" 404 (get "/other");
+  let post =
+    Signature_server.handle server
+      (Leakdetect_http.Request.make Leakdetect_http.Request.POST "/signatures")
+  in
+  Alcotest.(check int) "wrong method" 400 post.Leakdetect_http.Response.status
+
+let test_server_drives_monitor () =
+  (* Full loop: publish, device fetches, monitor starts catching leaks. *)
+  let server = Signature_server.create () in
+  let monitor = Flow_control.create [] in
+  Alcotest.(check string) "before fetch, leak passes" "allowed"
+    (Flow_control.decision_to_string (Flow_control.process monitor ~app_id:1 (leak_packet ())));
+  ignore (Signature_server.publish server signatures);
+  (match Signature_server.fetch server ~since:0 with
+  | Ok (Some (_, sigs)) -> Flow_control.update_signatures monitor sigs
+  | _ -> Alcotest.fail "fetch failed");
+  Alcotest.(check string) "after fetch, leak prompts" "prompted:stopped"
+    (Flow_control.decision_to_string (Flow_control.process monitor ~app_id:1 (leak_packet ())))
+
+let suite =
+  [
+    ( "monitor.policy",
+      [
+        Alcotest.test_case "defaults" `Quick test_policy_defaults;
+        Alcotest.test_case "set/remove" `Quick test_policy_set_remove;
+        Alcotest.test_case "save/load" `Quick test_policy_save_load;
+        Alcotest.test_case "load errors" `Quick test_policy_load_errors;
+      ] );
+    ( "monitor.prompt_budget",
+      [
+        Alcotest.test_case "budget enforced" `Quick test_prompt_budget;
+        Alcotest.test_case "sticky allow" `Quick test_prompt_budget_sticky_allow;
+      ] );
+    ( "monitor.report",
+      [
+        Alcotest.test_case "per app" `Quick test_report_per_app;
+        Alcotest.test_case "render" `Quick test_report_render;
+        Alcotest.test_case "limit" `Quick test_report_limit;
+      ] );
+    ( "monitor.signature_server",
+      [
+        Alcotest.test_case "fetch cycle" `Quick test_server_fetch_cycle;
+        Alcotest.test_case "http statuses" `Quick test_server_http_statuses;
+        Alcotest.test_case "drives the monitor" `Quick test_server_drives_monitor;
+      ] );
+    ( "monitor.flow_control",
+      [
+        Alcotest.test_case "benign allowed" `Quick test_flow_benign_allowed;
+        Alcotest.test_case "sensitive prompts (deny default)" `Quick
+          test_flow_sensitive_prompts_denied_by_default;
+        Alcotest.test_case "prompt callback" `Quick test_flow_prompt_callback;
+        Alcotest.test_case "block rule" `Quick test_flow_block_rule;
+        Alcotest.test_case "log and stats" `Quick test_flow_log_and_stats;
+        Alcotest.test_case "signature update" `Quick test_flow_signature_update;
+        Alcotest.test_case "match view" `Quick test_signature_match_view;
+      ] );
+  ]

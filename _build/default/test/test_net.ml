@@ -1,0 +1,146 @@
+(* Tests for Leakdetect_net: IPv4, domains, URLs. *)
+
+open Leakdetect_net
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Ipv4 --- *)
+
+let test_ipv4_parse_print () =
+  Alcotest.(check (option string)) "roundtrip" (Some "10.20.30.40")
+    (Option.map Ipv4.to_string (Ipv4.of_string "10.20.30.40"));
+  Alcotest.(check bool) "bad octet" true (Ipv4.of_string "256.1.1.1" = None);
+  Alcotest.(check bool) "too few parts" true (Ipv4.of_string "1.2.3" = None);
+  Alcotest.(check bool) "garbage" true (Ipv4.of_string "a.b.c.d" = None);
+  Alcotest.(check bool) "empty part" true (Ipv4.of_string "1..2.3" = None)
+
+let prop_ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 of_int/to_string/of_string roundtrip" ~count:500
+    QCheck.(int_bound ((1 lsl 32) - 1))
+    (fun v ->
+      let ip = Ipv4.of_int v in
+      Ipv4.of_string (Ipv4.to_string ip) = Some ip)
+
+let test_ipv4_of_int_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument "Ipv4.of_int: out of range")
+    (fun () -> ignore (Ipv4.of_int (-1)))
+
+let test_lmatch_known () =
+  let ip = Ipv4.of_octets in
+  Alcotest.(check int) "identical" 32 (Ipv4.lmatch (ip 1 2 3 4) (ip 1 2 3 4));
+  Alcotest.(check int) "first bit differs" 0 (Ipv4.lmatch (ip 128 0 0 0) (ip 0 0 0 0));
+  Alcotest.(check int) "same /24" 24 (Ipv4.lmatch (ip 10 0 0 1) (ip 10 0 0 129));
+  Alcotest.(check int) "same /16" 16 (Ipv4.lmatch (ip 10 0 1 0) (ip 10 0 129 0))
+
+let prop_lmatch_symmetry =
+  let gen = QCheck.Gen.(pair (int_bound ((1 lsl 32) - 1)) (int_bound ((1 lsl 32) - 1))) in
+  QCheck.Test.make ~name:"lmatch symmetric and bounded" ~count:500 (QCheck.make gen)
+    (fun (a, b) ->
+      let x = Ipv4.of_int a and y = Ipv4.of_int b in
+      let m = Ipv4.lmatch x y in
+      m = Ipv4.lmatch y x && m >= 0 && m <= 32 && (m = 32) = Ipv4.equal x y)
+
+let test_similarity () =
+  let ip = Ipv4.of_octets in
+  Alcotest.(check (float 1e-9)) "identical" 1. (Ipv4.similarity (ip 1 1 1 1) (ip 1 1 1 1));
+  Alcotest.(check (float 1e-9)) "same /16" 0.5 (Ipv4.similarity (ip 10 1 0 0) (ip 10 1 255 0))
+
+let test_in_block () =
+  let base = Ipv4.of_octets 74 125 0 0 in
+  let a = Ipv4.in_block ~base ~prefix:16 5 in
+  Alcotest.(check bool) "stays in block" true (Ipv4.lmatch base a >= 16);
+  Alcotest.(check string) "host bits" "74.125.0.5" (Ipv4.to_string a)
+
+(* --- Domain --- *)
+
+let test_registrable () =
+  Alcotest.(check string) "co.jp" "example.co.jp" (Domain.registrable "ads.example.co.jp");
+  Alcotest.(check string) "plain com" "admob.com" (Domain.registrable "r.admob.com");
+  Alcotest.(check string) "deep com" "doubleclick.net"
+    (Domain.registrable "googleads.g.doubleclick.net");
+  Alcotest.(check string) "already registrable" "nend.net" (Domain.registrable "nend.net");
+  Alcotest.(check string) "single label unchanged" "localhost" (Domain.registrable "localhost")
+
+let test_domain_validity () =
+  Alcotest.(check bool) "valid" true (Domain.is_valid "r.ad-maker.info");
+  Alcotest.(check bool) "single label" false (Domain.is_valid "localhost");
+  Alcotest.(check bool) "empty label" false (Domain.is_valid "a..b");
+  Alcotest.(check bool) "leading hyphen" false (Domain.is_valid "-x.com")
+
+let test_domain_distance () =
+  Alcotest.(check (float 1e-9)) "same host, case folded" 0.
+    (Domain.normalized_edit_distance "AdMob.com" "admob.com");
+  let near = Domain.normalized_edit_distance "r.admob.com" "mm.admob.com" in
+  let far = Domain.normalized_edit_distance "r.admob.com" "sp.ad.adlantis.jp" in
+  Alcotest.(check bool) "related hosts closer" true (near < far)
+
+(* --- Url --- *)
+
+let test_percent_encode () =
+  Alcotest.(check string) "space" "a%20b" (Url.percent_encode "a b");
+  Alcotest.(check string) "unreserved kept" "a-b_c.d~e" (Url.percent_encode "a-b_c.d~e");
+  Alcotest.(check string) "reserved" "a%2Fb%3Dc%26d" (Url.percent_encode "a/b=c&d")
+
+let test_percent_decode () =
+  Alcotest.(check (option string)) "plus" (Some "a b") (Url.percent_decode "a+b");
+  Alcotest.(check (option string)) "truncated escape" None (Url.percent_decode "abc%2");
+  Alcotest.(check (option string)) "bad hex" None (Url.percent_decode "%zz")
+
+let prop_url_roundtrip =
+  QCheck.Test.make ~name:"percent encode/decode roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun s -> Url.percent_decode (Url.percent_encode s) = Some s)
+
+let prop_query_roundtrip =
+  let key_gen = QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'k' ]) (1 -- 5)) in
+  let val_gen = QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (0 -- 12)) in
+  QCheck.Test.make ~name:"query string roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 6) (pair key_gen val_gen)))
+    (fun params ->
+      match Url.decode_query (Url.encode_query params) with
+      | Some decoded -> decoded = params
+      | None -> params = [] && Url.encode_query params = "")
+
+let test_query_edge_cases () =
+  Alcotest.(check (option (list (pair string string)))) "empty" (Some [])
+    (Url.decode_query "");
+  Alcotest.(check (option (list (pair string string)))) "bare key"
+    (Some [ ("k", "") ])
+    (Url.decode_query "k");
+  Alcotest.(check (option (list (pair string string)))) "two pairs"
+    (Some [ ("a", "1"); ("b", "2") ])
+    (Url.decode_query "a=1&b=2")
+
+let test_split_path_query () =
+  Alcotest.(check (pair string string)) "with query" ("/a/b", "x=1&y=2")
+    (Url.split_path_query "/a/b?x=1&y=2");
+  Alcotest.(check (pair string string)) "no query" ("/a", "") (Url.split_path_query "/a")
+
+let suite =
+  [
+    ( "net.ipv4",
+      [
+        Alcotest.test_case "parse/print" `Quick test_ipv4_parse_print;
+        Alcotest.test_case "of_int bounds" `Quick test_ipv4_of_int_bounds;
+        Alcotest.test_case "lmatch known" `Quick test_lmatch_known;
+        Alcotest.test_case "similarity" `Quick test_similarity;
+        Alcotest.test_case "in_block" `Quick test_in_block;
+        qtest prop_ipv4_roundtrip;
+        qtest prop_lmatch_symmetry;
+      ] );
+    ( "net.domain",
+      [
+        Alcotest.test_case "registrable" `Quick test_registrable;
+        Alcotest.test_case "validity" `Quick test_domain_validity;
+        Alcotest.test_case "distance" `Quick test_domain_distance;
+      ] );
+    ( "net.url",
+      [
+        Alcotest.test_case "percent encode" `Quick test_percent_encode;
+        Alcotest.test_case "percent decode" `Quick test_percent_decode;
+        Alcotest.test_case "query edge cases" `Quick test_query_edge_cases;
+        Alcotest.test_case "split path/query" `Quick test_split_path_query;
+        qtest prop_url_roundtrip;
+        qtest prop_query_roundtrip;
+      ] );
+  ]
