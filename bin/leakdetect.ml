@@ -6,7 +6,8 @@
      sign       cluster a sample of suspicious packets, emit signatures
      detect     apply a signature file to a trace
      evaluate   full pipeline with the paper's TP/FN/FP metrics
-     monitor    replay a trace through the on-device flow-control app *)
+     monitor    replay a trace through the on-device flow-control app
+     chaos      fault-injection soak over the ingest/distribute/enforce path *)
 
 open Cmdliner
 
@@ -27,6 +28,10 @@ module Agglomerative = Leakdetect_cluster.Agglomerative
 module Table = Leakdetect_util.Table
 module Prng = Leakdetect_util.Prng
 module Sample = Leakdetect_util.Sample
+module Fault = Leakdetect_fault.Fault
+module Flow_control = Leakdetect_monitor.Flow_control
+module Signature_client = Leakdetect_monitor.Signature_client
+module Signature_server = Leakdetect_monitor.Signature_server
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -73,7 +78,7 @@ let load_records ~trace ~seed ~scale =
       else Trace.load path
     in
     match result with
-    | Ok records -> Array.of_list records
+    | Ok (records, _) -> Array.of_list records
     | Error e -> exit_err "cannot load %s: %s" path e)
   | None -> (Workload.generate ~seed ~scale ()).Workload.records
 
@@ -478,11 +483,232 @@ let monitor_cmd =
        ~doc:"Replay a trace through the on-device information-flow-control application.")
     Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ limit)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let run () seed scale n corrupt truncate drop duplicate delay server_error syncs
+      fail_closed limit =
+    let fault_config =
+      { Fault.default with
+        Fault.corrupt_rate = corrupt;
+        truncate_rate = truncate;
+        drop_rate = drop;
+        duplicate_rate = duplicate;
+        delay_rate = delay;
+        server_error_rate = server_error;
+      }
+    in
+    let soak () =
+      (* Fault-free baseline: workload, signatures, whole-trace detection. *)
+      let ds = Workload.generate ~seed ~scale () in
+      let records = Array.to_list ds.Workload.records in
+      let suspicious, normal = split_records ds.Workload.records in
+      if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
+      let baseline =
+        Pipeline.run ~rng:(Prng.create seed) ~n ~suspicious ~normal ()
+      in
+      let base_detector = Detector.create baseline.Pipeline.signatures in
+      let base_detected =
+        Detector.count_detected base_detector (Workload.packets ds)
+      in
+      let total = List.length records in
+      Printf.printf "baseline: %d packets, %d signatures, %d detected (%.2f%%)\n" total
+        (List.length baseline.Pipeline.signatures)
+        base_detected
+        (100. *. float_of_int base_detected /. float_of_int total);
+      Format.printf "baseline metrics: %a@." Metrics.pp baseline.Pipeline.metrics;
+
+      (* Ingest soak: every record rides the wire through the fault plan,
+         then the lenient reader recovers what it can. *)
+      let ingest_plan = Fault.create ~seed:(seed + 1) fault_config in
+      let delivered = Fault.apply_stream ingest_plan records in
+      let path = Filename.temp_file "leakdetect_chaos" ".trace" in
+      let recovered, skips =
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            List.iter
+              (fun r ->
+                output_string oc (Fault.corrupt_string ingest_plan (Trace.record_to_line r));
+                output_char oc '\n')
+              delivered;
+            close_out oc;
+            match Trace.load ~on_error:`Skip path with
+            | Ok x -> x
+            | Error e -> exit_err "lenient load still failed: %s" e)
+      in
+      let damaged =
+        Fault.count ingest_plan Fault.Corrupt + Fault.count ingest_plan Fault.Truncate
+      in
+      let n_delivered = List.length delivered in
+      let n_recovered = List.length recovered in
+      Printf.printf
+        "\ningest: %d sent, %d delivered, %d recovered, %d skipped (intact lower bound %d)\n"
+        total n_delivered n_recovered skips.Trace.skipped (n_delivered - damaged);
+      List.iter
+        (fun (lineno, e) -> Printf.printf "  skipped line %d: %s\n" lineno e)
+        skips.Trace.sample;
+      if n_recovered < n_delivered - damaged then
+        exit_err "recovered %d < intact lower bound %d" n_recovered (n_delivered - damaged);
+
+      (* Signature-sync soak: the server publishes growing signature sets
+         while the resilient client syncs over a faulty transport. *)
+      let server = Signature_server.create () in
+      let client = Signature_client.create ~seed:(seed + 2) () in
+      let sync_plan = Fault.create ~seed:(seed + 3) fault_config in
+      let delayed_ticks = ref 0 in
+      let transport raw =
+        let through raw =
+          match
+            Signature_server.wire_transport server (Fault.corrupt_string sync_plan raw)
+          with
+          | Ok response -> Ok (Fault.corrupt_string sync_plan response)
+          | Error _ as e -> e
+        in
+        match Fault.server_fate sync_plan with
+        | Fault.Fail status -> Error (Printf.sprintf "transient server error %d" status)
+        | Fault.Respond_delayed t ->
+          delayed_ticks := !delayed_ticks + t;
+          through raw
+        | Fault.Respond -> through raw
+      in
+      let fetch = Signature_server.fetch_via ~transport in
+      let all_signatures = Array.of_list baseline.Pipeline.signatures in
+      let n_sigs = Array.length all_signatures in
+      let total_attempts = ref 0 and total_waited = ref 0 and failed_syncs = ref 0 in
+      let record_report (r : Signature_client.sync_report) =
+        total_attempts := !total_attempts + r.Signature_client.attempts;
+        total_waited := !total_waited + r.Signature_client.waited;
+        match r.Signature_client.outcome with
+        | Signature_client.Failed _ -> incr failed_syncs
+        | _ -> ()
+      in
+      Printf.printf "\nsync: %d rounds against %d signatures\n" syncs n_sigs;
+      for round = 1 to syncs do
+        let upto = max 1 (n_sigs * round / syncs) in
+        let chunk = Array.to_list (Array.sub all_signatures 0 upto) in
+        ignore (Signature_server.publish server chunk);
+        record_report (Signature_client.sync client ~fetch)
+      done;
+      (* Catch-up: keep syncing until the client holds the latest version. *)
+      let extra = ref 0 in
+      while
+        Signature_client.version client < Signature_server.current_version server
+        && !extra < 50
+      do
+        incr extra;
+        record_report (Signature_client.sync client ~fetch)
+      done;
+      let st = Signature_client.staleness client in
+      Printf.printf
+        "sync done: client v%d / server v%d after %d extra syncs; %d attempts, %d failed syncs, %d backoff + %d delay ticks, health %s\n"
+        (Signature_client.version client)
+        (Signature_server.current_version server)
+        !extra !total_attempts !failed_syncs !total_waited !delayed_ticks
+        (Signature_client.health_to_string (Signature_client.health client));
+      Printf.printf "staleness: %d failed syncs, %d failed attempts, version gap %d\n"
+        st.Signature_client.failed_syncs st.Signature_client.failed_attempts
+        st.Signature_client.version_gap;
+      if Signature_client.version client <> Signature_server.current_version server then
+        exit_err "client failed to converge to the latest signature version";
+
+      (* Enforcement under the synced set: replay recovered packets through
+         the monitor with the client's health driving the fail mode. *)
+      let monitor =
+        Flow_control.create
+          ~fail_mode:(if fail_closed then Flow_control.Fail_closed else Flow_control.Fail_open)
+          (Signature_client.signatures client)
+      in
+      Flow_control.set_health monitor (Signature_client.health client);
+      let replay = List.filteri (fun i _ -> i < limit) recovered in
+      List.iter
+        (fun (r : Trace.record) ->
+          ignore (Flow_control.process monitor ~app_id:r.Trace.app_id r.Trace.packet))
+        replay;
+      let allowed, blocked, prompted = Flow_control.stats monitor in
+      Printf.printf
+        "\nenforcement (%s, health %s): %d replayed, %d allowed, %d blocked, %d prompted\n"
+        (Flow_control.fail_mode_to_string (Flow_control.fail_mode monitor))
+        (Signature_client.health_to_string (Flow_control.health monitor))
+        (List.length replay) allowed blocked prompted;
+
+      (* Detection delta: the synced signatures over the recovered records
+         against the fault-free detection rate. *)
+      let detector = Detector.create (Signature_client.signatures client) in
+      let chaos_detected =
+        Detector.count_detected detector
+          (Array.of_list (List.map (fun r -> r.Trace.packet) recovered))
+      in
+      let rate detected count =
+        if count = 0 then 0. else 100. *. float_of_int detected /. float_of_int count
+      in
+      let base_rate = rate base_detected total in
+      let chaos_rate = rate chaos_detected n_recovered in
+      Printf.printf
+        "\ndetection: baseline %d/%d (%.2f%%) vs chaos %d/%d (%.2f%%), delta %+.2f points\n"
+        base_detected total base_rate chaos_detected n_recovered chaos_rate
+        (chaos_rate -. base_rate);
+
+      Printf.printf "\nfaults injected:\n";
+      List.iter
+        (fun (plan_name, plan) ->
+          Printf.printf "  %-7s" (plan_name ^ ":");
+          List.iter
+            (fun (k, c) -> Printf.printf " %s=%d" (Fault.kind_name k) c)
+            (Fault.summary plan);
+          print_newline ())
+        [ ("ingest", ingest_plan); ("sync", sync_plan) ]
+    in
+    match soak () with
+    | () -> Printf.printf "uncaught exceptions: 0\n"
+    | exception e -> exit_err "uncaught exception: %s" (Printexc.to_string e)
+  in
+  let rate ~names ~doc ~default =
+    Arg.(value & opt float default & info names ~docv:"RATE" ~doc)
+  in
+  let corrupt = rate ~names:[ "corrupt-rate" ] ~doc:"Byte-corruption rate." ~default:0.1 in
+  let truncate = rate ~names:[ "truncate-rate" ] ~doc:"Payload truncation rate." ~default:0.03 in
+  let drop = rate ~names:[ "drop-rate" ] ~doc:"Record drop rate." ~default:0.03 in
+  let duplicate = rate ~names:[ "duplicate-rate" ] ~doc:"Record duplication rate." ~default:0.03 in
+  let delay = rate ~names:[ "delay-rate" ] ~doc:"Response delay rate." ~default:0.1 in
+  let server_error =
+    rate ~names:[ "server-error-rate" ] ~doc:"Transient server error rate." ~default:0.2
+  in
+  let syncs =
+    Arg.(value & opt int 5
+        & info [ "syncs" ] ~docv:"N" ~doc:"Publish/sync rounds in the signature soak.")
+  in
+  let fail_closed =
+    Arg.(value & flag
+        & info [ "fail-closed" ]
+            ~doc:"Block everything while the signature feed is stale (default: fail-open).")
+  in
+  let limit =
+    Arg.(value & opt int 5_000
+        & info [ "limit" ] ~docv:"N" ~doc:"Recovered packets to replay through the monitor.")
+  in
+  let scale_small =
+    Arg.(value & opt float 0.05
+        & info [ "scale" ] ~docv:"SCALE" ~doc:"Traffic scale factor (soak default 0.05).")
+  in
+  let n_small =
+    Arg.(value & opt int 150
+        & info [ "n"; "sample" ] ~docv:"N" ~doc:"Suspicious packets sampled for signatures.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "End-to-end fault-injection soak: generate a workload, ship it through a \
+          faulty wire, sync signatures through the resilient client and report recovery.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_small $ n_small $ corrupt $ truncate
+          $ drop $ duplicate $ delay $ server_error $ syncs $ fail_closed $ limit)
+
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
   Cmd.group
     (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
     [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
-      monitor_cmd ]
+      monitor_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -18,17 +18,13 @@ let unescape s =
     if i = n then Some (Buffer.contents buf)
     else if s.[i] = '\\' then
       if i + 1 = n then None
-      else begin
-        (match s.[i + 1] with
-        | '\\' -> Buffer.add_char buf '\\'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 'r' -> Buffer.add_char buf '\r'
-        | _ -> ());
+      else (
         match s.[i + 1] with
-        | '\\' | 't' | 'n' | 'r' -> loop (i + 2)
-        | _ -> None
-      end
+        | '\\' -> Buffer.add_char buf '\\'; loop (i + 2)
+        | 't' -> Buffer.add_char buf '\t'; loop (i + 2)
+        | 'n' -> Buffer.add_char buf '\n'; loop (i + 2)
+        | 'r' -> Buffer.add_char buf '\r'; loop (i + 2)
+        | _ -> None)
     else begin
       Buffer.add_char buf s.[i];
       loop (i + 1)

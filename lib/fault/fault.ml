@@ -1,0 +1,126 @@
+module Prng = Leakdetect_util.Prng
+
+type kind = Corrupt | Truncate | Drop | Duplicate | Delay | Server_error
+
+let kind_name = function
+  | Corrupt -> "corrupt"
+  | Truncate -> "truncate"
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+  | Server_error -> "server-error"
+
+let all_kinds = [ Corrupt; Truncate; Drop; Duplicate; Delay; Server_error ]
+
+type config = {
+  corrupt_rate : float;
+  corrupt_bytes : int;
+  truncate_rate : float;
+  drop_rate : float;
+  duplicate_rate : float;
+  delay_rate : float;
+  max_delay : int;
+  server_error_rate : float;
+}
+
+let none =
+  {
+    corrupt_rate = 0.;
+    corrupt_bytes = 1;
+    truncate_rate = 0.;
+    drop_rate = 0.;
+    duplicate_rate = 0.;
+    delay_rate = 0.;
+    max_delay = 0;
+    server_error_rate = 0.;
+  }
+
+let default =
+  {
+    corrupt_rate = 0.1;
+    corrupt_bytes = 3;
+    truncate_rate = 0.03;
+    drop_rate = 0.03;
+    duplicate_rate = 0.03;
+    delay_rate = 0.1;
+    max_delay = 4;
+    server_error_rate = 0.2;
+  }
+
+type event = { seq : int; kind : kind; detail : string }
+
+type plan = {
+  config : config;
+  rng : Prng.t;
+  mutable events : event list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let create ~seed config = { config; rng = Prng.create seed; events = []; next_seq = 0 }
+let config t = t.config
+
+let record t kind detail =
+  t.events <- { seq = t.next_seq; kind; detail } :: t.events;
+  t.next_seq <- t.next_seq + 1
+
+let events t = List.rev t.events
+
+let count t kind =
+  List.fold_left (fun acc e -> if e.kind = kind then acc + 1 else acc) 0 t.events
+
+let total t = List.length t.events
+let summary t = List.map (fun k -> (k, count t k)) all_kinds
+
+let corrupt_string t s =
+  let c = t.config in
+  let s =
+    if s <> "" && Prng.chance t.rng c.corrupt_rate then begin
+      let b = Bytes.of_string s in
+      let n = max 1 c.corrupt_bytes in
+      for _ = 1 to n do
+        let i = Prng.int t.rng (Bytes.length b) in
+        (* XOR with a non-zero mask so the byte always changes. *)
+        let mask = 1 + Prng.int t.rng 255 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask))
+      done;
+      record t Corrupt (Printf.sprintf "%d byte(s) of %d" n (Bytes.length b));
+      Bytes.to_string b
+    end
+    else s
+  in
+  if s <> "" && Prng.chance t.rng c.truncate_rate then begin
+    let keep = Prng.int t.rng (String.length s) in
+    record t Truncate (Printf.sprintf "%d -> %d bytes" (String.length s) keep);
+    String.sub s 0 keep
+  end
+  else s
+
+let apply_stream t items =
+  let c = t.config in
+  List.concat_map
+    (fun x ->
+      if Prng.chance t.rng c.drop_rate then begin
+        record t Drop "record";
+        []
+      end
+      else if Prng.chance t.rng c.duplicate_rate then begin
+        record t Duplicate "record";
+        [ x; x ]
+      end
+      else [ x ])
+    items
+
+type server_fate = Respond | Respond_delayed of int | Fail of int
+
+let server_fate t =
+  let c = t.config in
+  if Prng.chance t.rng c.server_error_rate then begin
+    record t Server_error "503";
+    Fail 503
+  end
+  else if c.max_delay > 0 && Prng.chance t.rng c.delay_rate then begin
+    let ticks = 1 + Prng.int t.rng c.max_delay in
+    record t Delay (Printf.sprintf "%d tick(s)" ticks);
+    Respond_delayed ticks
+  end
+  else Respond

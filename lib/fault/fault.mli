@@ -1,0 +1,70 @@
+(** Deterministic fault injection for resilience testing.
+
+    A {!plan} is a seeded source of faults: byte corruption, truncation,
+    record drops, duplicated records, simulated response delays and
+    transient server errors, each fired independently at a configurable
+    rate.  All randomness comes from {!Leakdetect_util.Prng}, so a plan is
+    fully determined by its seed — a test can replay the exact fault
+    schedule and assert recovery against it.  Every fault that fires is
+    recorded as an {!event}, in order, with a payload-specific detail
+    string.
+
+    At rate 0 every injector is the identity: no draw can fire, no event is
+    recorded and payloads pass through byte-identical.  This is the anchor
+    for the "fault-free run reproduces baseline metrics exactly" property
+    the chaos soak checks. *)
+
+type kind = Corrupt | Truncate | Drop | Duplicate | Delay | Server_error
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type config = {
+  corrupt_rate : float;  (** Probability a payload gets bytes flipped. *)
+  corrupt_bytes : int;  (** Bytes flipped per corruption (>= 1). *)
+  truncate_rate : float;  (** Probability a payload loses its tail. *)
+  drop_rate : float;  (** Probability a stream record is dropped. *)
+  duplicate_rate : float;  (** Probability a stream record is doubled. *)
+  delay_rate : float;  (** Probability a server interaction is delayed. *)
+  max_delay : int;  (** Upper bound on delay, in simulated ticks. *)
+  server_error_rate : float;  (** Probability of a transient server error. *)
+}
+
+val none : config
+(** All rates zero: the identity plan. *)
+
+val default : config
+(** The chaos-soak default: 10% corruption, 20% transient server errors,
+    light truncation / drop / duplication / delay. *)
+
+type event = { seq : int; kind : kind; detail : string }
+
+type plan
+
+val create : seed:int -> config -> plan
+val config : plan -> config
+
+val events : plan -> event list
+(** Every fault fired so far, in firing order. *)
+
+val count : plan -> kind -> int
+val total : plan -> int
+
+val summary : plan -> (kind * int) list
+(** Counts for every kind (including zeroes), in {!all_kinds} order. *)
+
+val corrupt_string : plan -> string -> string
+(** Byte-level injector: may flip [corrupt_bytes] bytes (each XORed with a
+    non-zero mask, so a hit always changes the payload) and may then drop a
+    suffix.  Empty strings pass through untouched. *)
+
+val apply_stream : plan -> 'a list -> 'a list
+(** Record-level injector: each element is independently dropped, doubled
+    or passed through. *)
+
+type server_fate = Respond | Respond_delayed of int | Fail of int
+
+val server_fate : plan -> server_fate
+(** Fate of one server interaction: a transient error (HTTP status to fail
+    with), a delayed-but-successful response (ticks in [1, max_delay]), or
+    a normal response. *)

@@ -13,6 +13,7 @@ let reason_for = function
   | 400 -> "Bad Request"
   | 403 -> "Forbidden"
   | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
@@ -42,35 +43,24 @@ let print t =
   Buffer.add_string buf t.body;
   Buffer.contents buf
 
-let parse raw =
+let parse ?(limits = Wire.default_limits) raw =
   match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n\r\n" raw with
-  | [] -> Error "empty input"
+  | [] -> Error (Wire.Syntax "empty input")
   | head :: rest -> (
     let body = String.concat "\r\n\r\n" rest in
-    match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
-    | [] | [ "" ] -> Error "missing status line"
-    | status_line :: header_lines -> (
-      match String.split_on_char ' ' status_line with
-      | version :: code :: reason_parts -> (
-        match int_of_string_opt code with
-        | None -> Error (Printf.sprintf "bad status code %S" code)
-        | Some status ->
-          let parse_header acc line =
-            match acc with
+    if String.length body > limits.Wire.max_body then
+      Error (Wire.Body_too_large (String.length body))
+    else
+      match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
+      | [] | [ "" ] -> Error (Wire.Syntax "missing status line")
+      | status_line :: header_lines -> (
+        match String.split_on_char ' ' status_line with
+        | version :: code :: reason_parts -> (
+          match int_of_string_opt code with
+          | None -> Error (Wire.Syntax (Printf.sprintf "bad status code %S" code))
+          | Some status -> (
+            match Wire.parse_header_lines ~limits header_lines with
             | Error _ as e -> e
-            | Ok headers -> (
-              match String.index_opt line ':' with
-              | None -> Error (Printf.sprintf "malformed header line %S" line)
-              | Some i ->
-                let name = String.sub line 0 i in
-                let value =
-                  Leakdetect_util.Strutil.trim_spaces
-                    (String.sub line (i + 1) (String.length line - i - 1))
-                in
-                Ok (Headers.add headers name value))
-          in
-          (match List.fold_left parse_header (Ok Headers.empty) header_lines with
-          | Error _ as e -> e
-          | Ok headers ->
-            Ok { version; status; reason = String.concat " " reason_parts; headers; body }))
-      | _ -> Error (Printf.sprintf "malformed status line %S" status_line)))
+            | Ok headers ->
+              Ok { version; status; reason = String.concat " " reason_parts; headers; body }))
+        | _ -> Error (Wire.Syntax (Printf.sprintf "malformed status line %S" status_line))))

@@ -21,4 +21,6 @@ val print : t -> string
 (** Status line, headers (with [Content-Length] added when missing and the
     body is non-empty), blank line, body. *)
 
-val parse : string -> (t, string) result
+val parse : ?limits:Wire.limits -> string -> (t, Wire.error) result
+(** Parses exactly one response under the same limits and typed errors as
+    {!Wire.parse} ({!Wire.default_limits} when omitted). *)

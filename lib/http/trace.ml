@@ -1,5 +1,19 @@
 type record = { packet : Packet.t; app_id : int; labels : string list }
 
+type on_error = [ `Fail | `Skip ]
+type skipped = { skipped : int; sample : (int * string) list }
+
+let no_skips = { skipped = 0; sample = [] }
+let sample_limit = 5
+
+let add_skip s lineno err =
+  {
+    skipped = s.skipped + 1;
+    sample =
+      (if List.length s.sample < sample_limit then s.sample @ [ (lineno, err) ]
+       else s.sample);
+  }
+
 let escape_field s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -20,17 +34,13 @@ let unescape_field s =
     if i = n then Some (Buffer.contents buf)
     else if s.[i] = '\\' then
       if i + 1 = n then None
-      else begin
-        (match s.[i + 1] with
-        | '\\' -> Buffer.add_char buf '\\'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 'r' -> Buffer.add_char buf '\r'
-        | _ -> ());
+      else (
         match s.[i + 1] with
-        | '\\' | 't' | 'n' | 'r' -> loop (i + 2)
-        | _ -> None
-      end
+        | '\\' -> Buffer.add_char buf '\\'; loop (i + 2)
+        | 't' -> Buffer.add_char buf '\t'; loop (i + 2)
+        | 'n' -> Buffer.add_char buf '\n'; loop (i + 2)
+        | 'r' -> Buffer.add_char buf '\r'; loop (i + 2)
+        | _ -> None)
     else begin
       Buffer.add_char buf s.[i];
       loop (i + 1)
@@ -96,22 +106,28 @@ let save path records =
           output_char oc '\n')
         records)
 
-let fold path ~init ~f =
+let fold ?(on_error = `Fail) path ~init ~f =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec loop lineno acc =
+      let rec loop lineno acc skips =
         match input_line ic with
-        | exception End_of_file -> Ok acc
+        | exception End_of_file -> Ok (acc, skips)
         | line -> (
           match record_of_line line with
-          | Ok r -> loop (lineno + 1) (f acc r)
-          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+          | Ok r -> loop (lineno + 1) (f acc r) skips
+          | Error e -> (
+            match on_error with
+            | `Fail -> Error (Printf.sprintf "line %d: %s" lineno e)
+            | `Skip -> loop (lineno + 1) acc (add_skip skips lineno e)))
       in
-      loop 1 init)
+      loop 1 init no_skips)
 
-let load path =
-  Result.map List.rev (fold path ~init:[] ~f:(fun acc r -> r :: acc))
+let load ?on_error path =
+  Result.map
+    (fun (acc, skips) -> (List.rev acc, skips))
+    (fold ?on_error path ~init:[] ~f:(fun acc r -> r :: acc))
 
-let iter path ~f = fold path ~init:() ~f:(fun () r -> f r)
+let iter ?on_error path ~f =
+  Result.map snd (fold ?on_error path ~init:() ~f:(fun () r -> f r))

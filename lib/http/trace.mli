@@ -7,13 +7,35 @@
 
     The on-disk format is line-oriented: one record per line, tab-separated
     fields, with backslash escaping for tab / newline / backslash, making
-    traces greppable and diff-friendly. *)
+    traces greppable and diff-friendly.
+
+    Real captured traces are full of truncated and malformed records, so
+    every reader takes an [on_error] mode: [`Fail] (the default) stops at
+    the first malformed line, [`Skip] recovers past it and reports how many
+    records were skipped together with a sample of the offending lines. *)
 
 type record = {
   packet : Packet.t;
   app_id : int;
   labels : string list;
 }
+
+type on_error = [ `Fail | `Skip ]
+
+type skipped = {
+  skipped : int;  (** Malformed records passed over in [`Skip] mode. *)
+  sample : (int * string) list;
+      (** Up to {!sample_limit} [(line or record number, error)] pairs, in
+          file order. *)
+}
+
+val no_skips : skipped
+val sample_limit : int
+
+val add_skip : skipped -> int -> string -> skipped
+(** [add_skip s lineno err] counts one more skipped record, retaining the
+    error in the sample while under {!sample_limit}.  Shared with the
+    binary/compressed readers. *)
 
 val escape_field : string -> string
 val unescape_field : string -> string option
@@ -24,11 +46,13 @@ val record_of_line : string -> (record, string) result
 val save : string -> record list -> unit
 (** Writes a trace file (overwrites). *)
 
-val load : string -> (record list, string) result
-(** Reads a trace file; reports the first malformed line with its number. *)
+val load : ?on_error:on_error -> string -> (record list * skipped, string) result
+(** Reads a trace file.  [`Fail] reports the first malformed line with its
+    number (and {!no_skips}); [`Skip] returns every parseable record. *)
 
-val fold : string -> init:'a -> f:('a -> record -> 'a) -> ('a, string) result
+val fold :
+  ?on_error:on_error -> string -> init:'a -> f:('a -> record -> 'a) -> ('a * skipped, string) result
 (** Streaming left fold over a trace file — constant memory, for traces too
-    large to materialize.  Stops at the first malformed line. *)
+    large to materialize. *)
 
-val iter : string -> f:(record -> unit) -> (unit, string) result
+val iter : ?on_error:on_error -> string -> f:(record -> unit) -> (skipped, string) result

@@ -36,7 +36,7 @@ let encode records =
 
 exception Corrupt of string
 
-let decode data =
+let decode ?(on_error = `Fail) data =
   let pos = ref 0 in
   let remaining () = String.length data - !pos in
   let need n what = if remaining () < n then raise (Corrupt ("truncated " ^ what)) in
@@ -71,30 +71,46 @@ let decode data =
     if v <> version then raise (Corrupt (Printf.sprintf "unsupported version %d" v));
     let count = u32 "record count" in
     let records = ref [] in
-    for _ = 1 to count do
-      let app_id = u32 "app id" in
-      let ip_raw = u32 "ip" in
-      let ip =
-        try Leakdetect_net.Ipv4.of_int ip_raw
-        with Invalid_argument _ -> raise (Corrupt "bad ip")
-      in
-      let port = u16 "port" in
-      let host = str "host" in
-      let request_line = str "request line" in
-      let cookie = str "cookie" in
-      let body = str "body" in
-      let n_labels = u16 "label count" in
-      let labels = List.init n_labels (fun _ -> str "label") in
-      records :=
-        {
-          Trace.packet = Packet.v ~ip ~port ~host ~request_line ~cookie ~body;
-          app_id;
-          labels;
-        }
-        :: !records
-    done;
-    if remaining () <> 0 then raise (Corrupt "trailing bytes");
-    Ok (List.rev !records)
+    let decoded = ref 0 in
+    let skips = ref Trace.no_skips in
+    (try
+       for _ = 1 to count do
+         let app_id = u32 "app id" in
+         let ip_raw = u32 "ip" in
+         let ip =
+           try Leakdetect_net.Ipv4.of_int ip_raw
+           with Invalid_argument _ -> raise (Corrupt "bad ip")
+         in
+         let port = u16 "port" in
+         let host = str "host" in
+         let request_line = str "request line" in
+         let cookie = str "cookie" in
+         let body = str "body" in
+         let n_labels = u16 "label count" in
+         let labels = List.init n_labels (fun _ -> str "label") in
+         records :=
+           {
+             Trace.packet = Packet.v ~ip ~port ~host ~request_line ~cookie ~body;
+             app_id;
+             labels;
+           }
+           :: !records;
+         incr decoded
+       done;
+       if remaining () <> 0 then raise (Corrupt "trailing bytes")
+     with Corrupt m -> (
+       match on_error with
+       | `Fail -> raise (Corrupt m)
+       | `Skip ->
+         (* A length-prefixed stream cannot resync past a corrupt record:
+            salvage what decoded cleanly, count the rest as skipped. *)
+         let lost = max 1 (count - !decoded) in
+         skips :=
+           {
+             Trace.skipped = lost;
+             sample = [ (!decoded + 1, m ^ "; stream desynced, remainder skipped") ];
+           }));
+    Ok (List.rev !records, !skips)
   with Corrupt m -> Error m
 
 let save path records =
@@ -103,11 +119,11 @@ let save path records =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (encode records))
 
-let load path =
+let load ?on_error path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
       let data = really_input_string ic len in
-      decode data)
+      decode ?on_error data)

@@ -10,15 +10,23 @@
       preceded by a u16 label count.
 
     All integers little-endian.  {!load} validates the magic, version and
-    every length field against the remaining input. *)
+    every length field against the remaining input.
+
+    In [`Skip] mode a bad header (magic / version) is still an error, but a
+    corrupt record salvages everything decoded before it: the stream is
+    length-prefixed with no sync markers, so the remainder is counted as
+    skipped rather than resynced. *)
 
 val magic : string
 val version : int
 
 val save : string -> Trace.record list -> unit
-val load : string -> (Trace.record list, string) result
+
+val load :
+  ?on_error:Trace.on_error -> string -> (Trace.record list * Trace.skipped, string) result
 
 val encode : Trace.record list -> string
 (** In-memory encoding (what {!save} writes). *)
 
-val decode : string -> (Trace.record list, string) result
+val decode :
+  ?on_error:Trace.on_error -> string -> (Trace.record list * Trace.skipped, string) result

@@ -3,13 +3,13 @@ let magic = "LDTZ"
 let encode records =
   magic ^ Leakdetect_compress.Lz77.compress (Trace_binary.encode records)
 
-let decode data =
+let decode ?on_error data =
   if String.length data < 4 || String.sub data 0 4 <> magic then Error "bad magic"
   else
     let payload = String.sub data 4 (String.length data - 4) in
     match Leakdetect_compress.Lz77.decompress payload with
     | exception Invalid_argument m -> Error m
-    | binary -> Trace_binary.decode binary
+    | binary -> Trace_binary.decode ?on_error binary
 
 let save path records =
   let oc = open_out_bin path in
@@ -17,10 +17,10 @@ let save path records =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (encode records))
 
-let load path =
+let load ?on_error path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
-      decode (really_input_string ic len))
+      decode ?on_error (really_input_string ic len))

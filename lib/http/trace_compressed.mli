@@ -3,12 +3,20 @@
     5x thanks to the highly repetitive ad-module templates.
 
     Layout: magic ["LDTZ"], then the LZ77 stream of a complete
-    {!Trace_binary} document. *)
+    {!Trace_binary} document.
+
+    [on_error] behaves as in {!Trace_binary}: a bad magic or a corrupt
+    LZ77 stream is always an error; record-level corruption inside the
+    decompressed document can be skipped. *)
 
 val magic : string
 
 val save : string -> Trace.record list -> unit
-val load : string -> (Trace.record list, string) result
+
+val load :
+  ?on_error:Trace.on_error -> string -> (Trace.record list * Trace.skipped, string) result
 
 val encode : Trace.record list -> string
-val decode : string -> (Trace.record list, string) result
+
+val decode :
+  ?on_error:Trace.on_error -> string -> (Trace.record list * Trace.skipped, string) result

@@ -1,3 +1,19 @@
+type limits = { max_headers : int; max_header_line : int; max_body : int }
+
+let default_limits = { max_headers = 64; max_header_line = 4096; max_body = 1 lsl 20 }
+
+type error =
+  | Syntax of string
+  | Too_many_headers of int
+  | Header_line_too_long of int
+  | Body_too_large of int
+
+let error_to_string = function
+  | Syntax m -> m
+  | Too_many_headers n -> Printf.sprintf "too many headers (%d)" n
+  | Header_line_too_long n -> Printf.sprintf "header line too long (%d bytes)" n
+  | Body_too_large n -> Printf.sprintf "body too large (%d bytes)" n
+
 let print (r : Request.t) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Request.request_line r);
@@ -18,34 +34,45 @@ let print (r : Request.t) =
   Buffer.add_string buf r.body;
   Buffer.contents buf
 
-let parse raw =
+let parse_header_lines ~limits lines =
+  let n = List.length lines in
+  if n > limits.max_headers then Error (Too_many_headers n)
+  else
+    List.fold_left
+      (fun acc line ->
+        match acc with
+        | Error _ as e -> e
+        | Ok headers ->
+          if String.length line > limits.max_header_line then
+            Error (Header_line_too_long (String.length line))
+          else (
+            match String.index_opt line ':' with
+            | None -> Error (Syntax (Printf.sprintf "malformed header line %S" line))
+            | Some i ->
+              let name = String.sub line 0 i in
+              let value =
+                Leakdetect_util.Strutil.trim_spaces
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              Ok (Headers.add headers name value)))
+      (Ok Headers.empty) lines
+
+let parse ?(limits = default_limits) raw =
   match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n\r\n" raw with
-  | [] -> Error "empty input"
+  | [] -> Error (Syntax "empty input")
   | head :: rest ->
     let body = String.concat "\r\n\r\n" rest in
-    (match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
-    | [] | [ "" ] -> Error "missing request line"
-    | rline :: header_lines ->
-      (match String.split_on_char ' ' rline with
-      | [ meth_s; target; version ] -> (
-        match Request.meth_of_string meth_s with
-        | None -> Error (Printf.sprintf "unsupported method %S" meth_s)
-        | Some meth ->
-          let parse_header acc line =
-            match acc with
+    if String.length body > limits.max_body then Error (Body_too_large (String.length body))
+    else (
+      match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
+      | [] | [ "" ] -> Error (Syntax "missing request line")
+      | rline :: header_lines ->
+        (match String.split_on_char ' ' rline with
+        | [ meth_s; target; version ] -> (
+          match Request.meth_of_string meth_s with
+          | None -> Error (Syntax (Printf.sprintf "unsupported method %S" meth_s))
+          | Some meth -> (
+            match parse_header_lines ~limits header_lines with
             | Error _ as e -> e
-            | Ok headers -> (
-              match String.index_opt line ':' with
-              | None -> Error (Printf.sprintf "malformed header line %S" line)
-              | Some i ->
-                let name = String.sub line 0 i in
-                let value =
-                  Leakdetect_util.Strutil.trim_spaces
-                    (String.sub line (i + 1) (String.length line - i - 1))
-                in
-                Ok (Headers.add headers name value))
-          in
-          (match List.fold_left parse_header (Ok Headers.empty) header_lines with
-          | Error _ as e -> e
-          | Ok headers -> Ok (Request.make ~version ~headers ~body meth target)))
-      | _ -> Error (Printf.sprintf "malformed request line %S" rline)))
+            | Ok headers -> Ok (Request.make ~version ~headers ~body meth target)))
+        | _ -> Error (Syntax (Printf.sprintf "malformed request line %S" rline))))

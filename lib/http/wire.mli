@@ -1,12 +1,37 @@
 (** Raw HTTP/1.1 request bytes: printing for the traffic generator and a
-    strict parser for round-trip testing and for feeding externally captured
-    requests into the pipeline. *)
+    strict, bounded parser for round-trip testing and for feeding
+    externally captured requests into the pipeline.
+
+    The parser enforces explicit limits — header count, header line length
+    and body size — so unbounded or hostile input is rejected with a typed
+    error instead of being accumulated.  The same limits and error type are
+    shared by {!Response.parse}. *)
+
+type limits = {
+  max_headers : int;  (** Maximum number of header lines. *)
+  max_header_line : int;  (** Maximum bytes in one header line. *)
+  max_body : int;  (** Maximum body bytes after the blank line. *)
+}
+
+val default_limits : limits
+(** 64 headers, 4 KiB header lines, 1 MiB bodies. *)
+
+type error =
+  | Syntax of string  (** Malformed request/status/header line. *)
+  | Too_many_headers of int  (** Header lines seen. *)
+  | Header_line_too_long of int  (** Offending line length. *)
+  | Body_too_large of int  (** Body length. *)
+
+val error_to_string : error -> string
 
 val print : Request.t -> string
 (** Request line, headers, CRLF CRLF, body.  A [Content-Length] header is
     added for non-empty bodies when absent. *)
 
-val parse : string -> (Request.t, string) result
+val parse : ?limits:limits -> string -> (Request.t, error) result
 (** Parses exactly one request.  The body is everything after the blank
     line (no chunked encoding).  Errors describe the first offending
-    line. *)
+    line or the first limit exceeded. *)
+
+val parse_header_lines : limits:limits -> string list -> (Headers.t, error) result
+(** Shared header-block parser (also used by {!Response.parse}). *)

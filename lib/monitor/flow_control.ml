@@ -16,35 +16,57 @@ type event = {
   decision : decision;
 }
 
+type fail_mode = Fail_open | Fail_closed
+
+let fail_mode_to_string = function
+  | Fail_open -> "fail-open"
+  | Fail_closed -> "fail-closed"
+
 type t = {
   policy : Policy.t;
   prompt_budget : int option;
+  fail_mode : fail_mode;
   on_prompt : app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool;
   prompt_counts : (int, int) Hashtbl.t;
   last_answers : (int, bool) Hashtbl.t;
   mutable detector : Detector.t;
+  mutable health : Signature_client.health;
   mutable events : event list;  (* newest first *)
   mutable next_seq : int;
+  (* Incremental decision counters, so stats is O(1). *)
+  mutable n_allowed : int;
+  mutable n_blocked : int;
+  mutable n_prompted : int;
 }
 
 let deny_all ~app_id:_ _packet _match = false
 
-let create ?(policy = Policy.create ()) ?prompt_budget ?(on_prompt = deny_all) signatures =
+let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
+    ?(on_prompt = deny_all) signatures =
   {
     policy;
     prompt_budget;
+    fail_mode;
     on_prompt;
     prompt_counts = Hashtbl.create 16;
     last_answers = Hashtbl.create 16;
     detector = Detector.create signatures;
+    health = Signature_client.Healthy;
     events = [];
     next_seq = 0;
+    n_allowed = 0;
+    n_blocked = 0;
+    n_prompted = 0;
   }
 
 let prompts_for t ~app_id =
   Option.value ~default:0 (Hashtbl.find_opt t.prompt_counts app_id)
 
 let update_signatures t signatures = t.detector <- Detector.create signatures
+
+let set_health t health = t.health <- health
+let health t = t.health
+let fail_mode t = t.fail_mode
 
 let process t ~app_id packet =
   let matched =
@@ -57,6 +79,11 @@ let process t ~app_id packet =
     | None -> rule.Policy.on_benign
   in
   let decision =
+    (* A stale signature set cannot be trusted to clear traffic: fail-closed
+       blocks everything until the client recovers; fail-open keeps
+       enforcing with the last-known-good set. *)
+    if t.health = Signature_client.Stale && t.fail_mode = Fail_closed then Blocked
+    else
     match (action, matched) with
     | Policy.Allow, _ -> Allowed
     | Policy.Block, _ -> Blocked
@@ -84,15 +111,12 @@ let process t ~app_id packet =
   in
   t.events <- { seq = t.next_seq; app_id; packet; matched; decision } :: t.events;
   t.next_seq <- t.next_seq + 1;
+  (match decision with
+  | Allowed -> t.n_allowed <- t.n_allowed + 1
+  | Blocked -> t.n_blocked <- t.n_blocked + 1
+  | Prompted _ -> t.n_prompted <- t.n_prompted + 1);
   decision
 
 let log t = List.rev t.events
 
-let stats t =
-  List.fold_left
-    (fun (a, b, p) e ->
-      match e.decision with
-      | Allowed -> (a + 1, b, p)
-      | Blocked -> (a, b + 1, p)
-      | Prompted _ -> (a, b, p + 1))
-    (0, 0, 0) t.events
+let stats t = (t.n_allowed, t.n_blocked, t.n_prompted)

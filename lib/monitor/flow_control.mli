@@ -21,11 +21,21 @@ type event = {
   decision : decision;
 }
 
+type fail_mode = Fail_open | Fail_closed
+(** What enforcement does while the signature feed is {!Signature_client.Stale}:
+    [Fail_open] keeps enforcing with the last-known-good signature set (the
+    availability-first default); [Fail_closed] blocks every packet until the
+    feed recovers (security-first — a stale detector cannot be trusted to
+    clear traffic). *)
+
+val fail_mode_to_string : fail_mode -> string
+
 type t
 
 val create :
   ?policy:Policy.t ->
   ?prompt_budget:int ->
+  ?fail_mode:fail_mode ->
   ?on_prompt:(app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool) ->
   Leakdetect_core.Signature.t list ->
   t
@@ -36,7 +46,17 @@ val create :
     [prompt_budget] caps how many times any single application may prompt
     the user; past the cap the app's most recent answer is applied silently
     (the paper's usability concern: "users will be continually bothered by
-    unnecessary warnings" if prompts are unbounded).  Default: unlimited. *)
+    unnecessary warnings" if prompts are unbounded).  Default: unlimited.
+
+    [fail_mode] (default [Fail_open]) selects the degraded-feed behaviour;
+    it only takes effect when {!set_health} reports [Stale]. *)
+
+val set_health : t -> Signature_client.health -> unit
+(** Feed the monitor the signature client's health after each sync; while
+    [Stale] and [Fail_closed], {!process} blocks everything. *)
+
+val health : t -> Signature_client.health
+val fail_mode : t -> fail_mode
 
 val prompts_for : t -> app_id:int -> int
 (** How many times the given app has prompted so far. *)
@@ -53,4 +73,5 @@ val log : t -> event list
 
 val stats : t -> int * int * int
 (** (allowed, blocked, prompted) counts over the log; a prompt counts as
-    prompted regardless of the user's answer. *)
+    prompted regardless of the user's answer.  O(1): counters are
+    maintained incrementally by {!process}. *)

@@ -1,0 +1,100 @@
+module Prng = Leakdetect_util.Prng
+module Signature = Leakdetect_core.Signature
+
+type health = Healthy | Degraded | Stale
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Stale -> "stale"
+
+type config = {
+  max_attempts : int;
+  base_backoff : int;
+  max_backoff : int;
+  jitter : int;
+  stale_after : int;
+}
+
+let default_config =
+  { max_attempts = 5; base_backoff = 1; max_backoff = 16; jitter = 1; stale_after = 3 }
+
+type staleness = { failed_syncs : int; failed_attempts : int; version_gap : int }
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  mutable version : int;
+  mutable signatures : Signature.t list;
+  mutable health : health;
+  mutable failed_syncs : int;
+  mutable failed_attempts : int;
+  mutable version_gap : int;
+  mutable last_error : string option;
+}
+
+let create ?(config = default_config) ?(seed = 0) () =
+  if config.max_attempts < 1 then invalid_arg "Signature_client: max_attempts < 1";
+  if config.stale_after < 1 then invalid_arg "Signature_client: stale_after < 1";
+  {
+    config;
+    rng = Prng.create seed;
+    version = 0;
+    signatures = [];
+    health = Healthy;
+    failed_syncs = 0;
+    failed_attempts = 0;
+    version_gap = 0;
+    last_error = None;
+  }
+
+let version t = t.version
+let signatures t = t.signatures
+let health t = t.health
+
+let staleness t =
+  {
+    failed_syncs = t.failed_syncs;
+    failed_attempts = t.failed_attempts;
+    version_gap = t.version_gap;
+  }
+
+let last_error t = t.last_error
+
+type outcome = Updated of int | Unchanged | Failed of string
+
+type sync_report = { outcome : outcome; attempts : int; waited : int }
+
+let backoff_ticks t ~attempt =
+  (* attempt k (1-based) failed: wait base * 2^(k-1), capped, plus jitter. *)
+  let exp = min (attempt - 1) 30 in
+  let base = min t.config.max_backoff (t.config.base_backoff lsl exp) in
+  base + if t.config.jitter > 0 then Prng.int t.rng (t.config.jitter + 1) else 0
+
+let sync t ~fetch =
+  let rec attempt k waited =
+    match fetch ~since:t.version with
+    | Ok payload ->
+      let outcome =
+        match payload with
+        | None -> Unchanged
+        | Some (version, signatures) ->
+          t.version_gap <- max 0 (version - t.version - 1);
+          t.version <- version;
+          t.signatures <- signatures;
+          Updated version
+      in
+      t.failed_syncs <- 0;
+      t.health <- Healthy;
+      { outcome; attempts = k; waited }
+    | Error e ->
+      t.failed_attempts <- t.failed_attempts + 1;
+      t.last_error <- Some e;
+      if k >= t.config.max_attempts then begin
+        t.failed_syncs <- t.failed_syncs + 1;
+        t.health <- (if t.failed_syncs >= t.config.stale_after then Stale else Degraded);
+        { outcome = Failed e; attempts = k; waited }
+      end
+      else attempt (k + 1) (waited + backoff_ticks t ~attempt:k)
+  in
+  attempt 1 0

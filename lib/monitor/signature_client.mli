@@ -1,0 +1,81 @@
+(** Resilient device-side signature synchronisation.
+
+    The paper's deployment (Sec. V) keeps on-device detectors supplied with
+    fresh signatures from the generation server; in practice that link
+    sees corrupt bytes, transient server errors and delays.  This client
+    wraps a fetch function (typically {!Signature_server.fetch} or a
+    fault-injected transport via {!Signature_server.fetch_via}) in a retry
+    loop with exponential backoff and deterministic jitter, keeps a bounded
+    per-sync attempt budget, and tracks a health state machine:
+
+    - [Healthy]: the last sync succeeded;
+    - [Degraded]: recent syncs failed but fewer than [stale_after] in a
+      row — the last-known-good signature set is still served;
+    - [Stale]: at least [stale_after] consecutive syncs failed; the
+      signature set may be arbitrarily far behind the server.
+
+    On persistent failure the client never drops its last-known-good
+    signatures; staleness (consecutive failed syncs, total failed attempts
+    and the version gap observed at the last recovery) is recorded so
+    enforcement can react — see {!Flow_control} fail modes.
+
+    Time is simulated: backoff is counted in abstract ticks and reported
+    per sync, never slept. *)
+
+type health = Healthy | Degraded | Stale
+
+val health_to_string : health -> string
+
+type config = {
+  max_attempts : int;  (** Fetch attempts per sync (>= 1). *)
+  base_backoff : int;  (** Ticks before the first retry. *)
+  max_backoff : int;  (** Ceiling for the exponential backoff. *)
+  jitter : int;  (** Extra random ticks in [0, jitter] per backoff. *)
+  stale_after : int;  (** Consecutive failed syncs before [Stale]. *)
+}
+
+val default_config : config
+(** 5 attempts, backoff 1 doubling to a ceiling of 16 ticks, jitter 1,
+    stale after 3 failed syncs. *)
+
+type t
+
+val create : ?config:config -> ?seed:int -> unit -> t
+(** [create ()] starts at version 0 with no signatures and [Healthy]
+    health.  [seed] (default 0) drives the backoff jitter only. *)
+
+val version : t -> int
+(** Last-known-good signature version (0 before the first update). *)
+
+val signatures : t -> Leakdetect_core.Signature.t list
+(** Last-known-good signature set — served even while [Stale]. *)
+
+val health : t -> health
+
+type staleness = {
+  failed_syncs : int;  (** Consecutive syncs that exhausted their budget. *)
+  failed_attempts : int;  (** Total fetch attempts that errored, ever. *)
+  version_gap : int;
+      (** Versions jumped over at the most recent successful update: 0 when
+          updates arrive one by one, larger after recovering from an
+          outage. *)
+}
+
+val staleness : t -> staleness
+val last_error : t -> string option
+
+type outcome =
+  | Updated of int  (** New signature version installed. *)
+  | Unchanged  (** Server confirmed we are up to date. *)
+  | Failed of string  (** Attempt budget exhausted; last error. *)
+
+type sync_report = { outcome : outcome; attempts : int; waited : int }
+(** [attempts] = fetch calls made; [waited] = backoff ticks accumulated. *)
+
+val sync :
+  t ->
+  fetch:(since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result) ->
+  sync_report
+(** One synchronisation round: fetches with [since] = current version,
+    retrying with backoff up to [max_attempts] times, then updates the
+    health state machine. *)

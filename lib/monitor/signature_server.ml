@@ -19,7 +19,8 @@ let body_of t =
 
 let handle t (request : Http.Request.t) =
   let path, _ = Leakdetect_net.Url.split_path_query request.Http.Request.target in
-  if request.Http.Request.meth <> Http.Request.GET then Http.Response.make 400
+  if request.Http.Request.meth <> Http.Request.GET then
+    Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "GET") ]) 405
   else if path <> endpoint then Http.Response.make 404
   else begin
     let since =
@@ -39,44 +40,58 @@ let handle t (request : Http.Request.t) =
       Http.Response.make ~headers ~body:(body_of t) 200
   end
 
-let fetch t ~since =
+let wire_transport t raw =
+  match Http.Wire.parse raw with
+  | Error e -> Error ("request corrupt: " ^ Http.Wire.error_to_string e)
+  | Ok request -> Ok (Http.Response.print (handle t request))
+
+let fetch_via ~transport ~since =
   let request =
     Http.Request.make
       ~headers:(Http.Headers.of_list [ ("Host", "sigserver.local") ])
       Http.Request.GET
       (Printf.sprintf "%s?since=%d" endpoint since)
   in
-  (* Round-trip through wire bytes, as a real deployment would. *)
-  match Http.Wire.parse (Http.Wire.print request) with
-  | Error e -> Error ("request corrupt: " ^ e)
-  | Ok request -> (
-    let response = handle t request in
-    match Http.Response.parse (Http.Response.print response) with
-    | Error e -> Error ("response corrupt: " ^ e)
+  match transport (Http.Wire.print request) with
+  | Error _ as e -> e
+  | Ok raw -> (
+    match Http.Response.parse raw with
+    | Error e -> Error ("response corrupt: " ^ Http.Wire.error_to_string e)
     | Ok response -> (
-      match response.Http.Response.status with
-      | 304 -> Ok None
-      | 200 -> (
-        let version =
-          Option.bind
-            (Http.Headers.get response.Http.Response.headers "X-Signature-Version")
-            int_of_string_opt
-        in
-        match version with
-        | None -> Error "missing version header"
-        | Some version ->
-          let lines =
-            if response.Http.Response.body = "" then []
-            else String.split_on_char '\n' response.Http.Response.body
+      let body = response.Http.Response.body in
+      let declared =
+        Option.bind
+          (Http.Headers.get response.Http.Response.headers "Content-Length")
+          int_of_string_opt
+      in
+      match declared with
+      | Some n when n <> String.length body ->
+        Error
+          (Printf.sprintf "content-length mismatch: declared %d, got %d" n
+             (String.length body))
+      | _ -> (
+        match response.Http.Response.status with
+        | 304 -> Ok None
+        | 200 -> (
+          let version =
+            Option.bind
+              (Http.Headers.get response.Http.Response.headers "X-Signature-Version")
+              int_of_string_opt
           in
-          let rec parse_all acc = function
-            | [] -> Ok (List.rev acc)
-            | line :: rest -> (
-              match Signature_io.of_line line with
-              | Ok s -> parse_all (s :: acc) rest
-              | Error e -> Error e)
-          in
-          (match parse_all [] lines with
-          | Ok signatures -> Ok (Some (version, signatures))
-          | Error e -> Error ("bad signature line: " ^ e)))
-      | status -> Error (Printf.sprintf "unexpected status %d" status)))
+          match version with
+          | None -> Error "missing version header"
+          | Some version ->
+            let lines = if body = "" then [] else String.split_on_char '\n' body in
+            let rec parse_all acc = function
+              | [] -> Ok (List.rev acc)
+              | line :: rest -> (
+                match Signature_io.of_line line with
+                | Ok s -> parse_all (s :: acc) rest
+                | Error e -> Error e)
+            in
+            (match parse_all [] lines with
+            | Ok signatures -> Ok (Some (version, signatures))
+            | Error e -> Error ("bad signature line: " ^ e)))
+        | status -> Error (Printf.sprintf "unexpected status %d" status))))
+
+let fetch t ~since = fetch_via ~transport:(wire_transport t) ~since

@@ -25,10 +25,23 @@ val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
     - [200] with version header and signature body when [V] is older than
       the current version;
     - [304] when the device is up to date;
-    - [400] on a malformed request, [404] on unknown paths. *)
+    - [400] on a malformed request, [404] on unknown paths, [405] (with an
+      [Allow: GET] header) for non-GET methods. *)
+
+val wire_transport : t -> string -> (string, string) result
+(** The loss-free transport: parses the printed request bytes, runs
+    {!handle}, returns the printed response bytes.  Fault-injection
+    harnesses wrap this to corrupt either direction or fail transiently. *)
+
+val fetch_via :
+  transport:(string -> (string, string) result) ->
+  since:int ->
+  ((int * Leakdetect_core.Signature.t list) option, string) result
+(** Device-side update check over an arbitrary transport: prints the
+    request, ships it through [transport], parses and validates the
+    response (status, [Content-Length] consistency against the actual
+    body, version header, signature lines).  [Ok None] means up-to-date. *)
 
 val fetch :
   t -> since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result
-(** Device-side update check, round-tripped through the printed wire
-    representation of the request and response.  [Ok None] means
-    up-to-date. *)
+(** [fetch_via] over the server's own {!wire_transport}. *)

@@ -83,7 +83,7 @@ let test_wire_parse_roundtrip () =
       ~body:"k=v&l=w" Request.POST "/path"
   in
   match Wire.parse (Wire.print r) with
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
   | Ok parsed ->
     Alcotest.(check string) "method+target" (Request.request_line r) (Request.request_line parsed);
     Alcotest.(check string) "body" r.Request.body parsed.Request.body;
@@ -101,7 +101,7 @@ let test_wire_parse_body_with_separator () =
   let r = Request.make ~body:"x\r\n\r\ny" Request.POST "/p" in
   match Wire.parse (Wire.print r) with
   | Ok parsed -> Alcotest.(check string) "body intact" "x\r\n\r\ny" parsed.Request.body
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
 
 (* --- Packet --- *)
 
@@ -189,7 +189,7 @@ let test_trace_save_load () =
       Trace.save path records;
       match Trace.load path with
       | Error e -> Alcotest.failf "load failed: %s" e
-      | Ok loaded ->
+      | Ok (loaded, _) ->
         Alcotest.(check int) "count" 5 (List.length loaded);
         List.iter2
           (fun a b ->
@@ -218,7 +218,7 @@ let test_binary_roundtrip () =
   let records = sample_records () in
   match Trace_binary.decode (Trace_binary.encode records) with
   | Error e -> Alcotest.failf "decode: %s" e
-  | Ok loaded ->
+  | Ok (loaded, _) ->
     Alcotest.(check int) "count" (List.length records) (List.length loaded);
     List.iter2
       (fun a b ->
@@ -240,7 +240,7 @@ let test_binary_file_roundtrip () =
       Trace_binary.save path records;
       match Trace_binary.load path with
       | Error e -> Alcotest.failf "load: %s" e
-      | Ok loaded -> Alcotest.(check int) "count" 7 (List.length loaded))
+      | Ok (loaded, _) -> Alcotest.(check int) "count" 7 (List.length loaded))
 
 let test_binary_corruption () =
   let encoded = Trace_binary.encode (sample_records ()) in
@@ -253,7 +253,7 @@ let test_binary_corruption () =
 
 let test_binary_empty_list () =
   match Trace_binary.decode (Trace_binary.encode []) with
-  | Ok [] -> ()
+  | Ok ([], _) -> ()
   | Ok _ -> Alcotest.fail "expected empty"
   | Error e -> Alcotest.failf "decode: %s" e
 
@@ -272,7 +272,7 @@ let prop_binary_roundtrip =
         }
       in
       match Trace_binary.decode (Trace_binary.encode [ record ]) with
-      | Ok [ r ] ->
+      | Ok ([ r ], _) ->
         r.Trace.app_id = app_id
         && Packet.content_string r.Trace.packet = Packet.content_string record.Trace.packet
         && r.Trace.packet.Packet.dst.Packet.host = host_raw
@@ -295,11 +295,13 @@ let test_trace_fold_streaming () =
     (fun () ->
       Trace.save path records;
       (match Trace.fold path ~init:0 ~f:(fun acc r -> acc + r.Trace.app_id) with
-      | Ok sum -> Alcotest.(check int) "fold sums app ids" 45 sum
+      | Ok (sum, skips) ->
+        Alcotest.(check int) "fold sums app ids" 45 sum;
+        Alcotest.(check int) "nothing skipped" 0 skips.Trace.skipped
       | Error e -> Alcotest.failf "fold: %s" e);
       let count = ref 0 in
       (match Trace.iter path ~f:(fun r -> if r.Trace.labels <> [] then incr count) with
-      | Ok () -> Alcotest.(check int) "iter counts sensitive" 5 !count
+      | Ok _ -> Alcotest.(check int) "iter counts sensitive" 5 !count
       | Error e -> Alcotest.failf "iter: %s" e))
 
 let test_trace_fold_stops_on_error () =
@@ -326,7 +328,7 @@ let test_response_print_parse () =
   in
   Alcotest.(check string) "status line" "HTTP/1.1 200 OK" (Response.status_line r);
   match Response.parse (Response.print r) with
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Error e -> Alcotest.failf "parse: %s" (Wire.error_to_string e)
   | Ok parsed ->
     Alcotest.(check int) "status" 200 parsed.Response.status;
     Alcotest.(check (option string)) "header kept" (Some "3")
@@ -351,7 +353,7 @@ let test_compressed_roundtrip () =
   let records = sample_records () in
   match Trace_compressed.decode (Trace_compressed.encode records) with
   | Error e -> Alcotest.failf "decode: %s" e
-  | Ok loaded ->
+  | Ok (loaded, _) ->
     Alcotest.(check int) "count" (List.length records) (List.length loaded);
     List.iter2
       (fun a b ->
@@ -387,7 +389,7 @@ let test_compressed_file_and_size () =
     (fun () ->
       Trace_compressed.save path records;
       match Trace_compressed.load path with
-      | Ok loaded -> Alcotest.(check int) "file roundtrip" 300 (List.length loaded)
+      | Ok (loaded, _) -> Alcotest.(check int) "file roundtrip" 300 (List.length loaded)
       | Error e -> Alcotest.failf "load: %s" e)
 
 let test_compressed_corruption () =

@@ -135,7 +135,7 @@ let test_trace_roundtrip_through_disk () =
       Leakdetect_http.Trace.save path (Array.to_list ds.Workload.records);
       match Leakdetect_http.Trace.load path with
       | Error e -> Alcotest.failf "load failed: %s" e
-      | Ok records ->
+      | Ok (records, _) ->
         Alcotest.(check int) "record count" (Array.length ds.Workload.records)
           (List.length records);
         let sensitive_loaded =

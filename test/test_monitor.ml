@@ -254,7 +254,9 @@ let test_server_http_statuses () =
     Signature_server.handle server
       (Leakdetect_http.Request.make Leakdetect_http.Request.POST "/signatures")
   in
-  Alcotest.(check int) "wrong method" 400 post.Leakdetect_http.Response.status
+  Alcotest.(check int) "wrong method" 405 post.Leakdetect_http.Response.status;
+  Alcotest.(check (option string)) "allow header" (Some "GET")
+    (Leakdetect_http.Headers.get post.Leakdetect_http.Response.headers "Allow")
 
 let test_server_drives_monitor () =
   (* Full loop: publish, device fetches, monitor starts catching leaks. *)
