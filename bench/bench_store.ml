@@ -1,0 +1,111 @@
+(* Durability-layer benchmark: WAL append throughput, recovery (replay)
+   time as the log grows, and snapshot/compaction cost.
+
+   Emits BENCH_store.json next to the working directory so runs can be
+   diffed.  Kept deliberately small — the point is the scaling shape
+   (replay linear in log length, append cost flat), not absolute numbers.
+
+   Usage: bench_store.exe [--quick]   (--quick caps the log at 5k records) *)
+
+module Json = Leakdetect_util.Json
+module Signature = Leakdetect_core.Signature
+module Store = Leakdetect_store.Store
+module Wal = Leakdetect_store.Wal
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let fresh_dir () =
+  let f = Filename.temp_file "ld_bench_store" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* A representative entry: a publish of a handful of realistic signatures,
+   versions ticking up so every replay entry actually applies. *)
+let signatures =
+  [ Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:4
+      [ "imei=355021930123456"; "loc=35.609,139.743" ];
+    Signature.make ~id:1 ~mode:Signature.Ordered ~cluster_size:3
+      [ "GET"; "/ad/track"; "android_id=9774d56d682e549c" ];
+    Signature.make ~id:2 ~mode:Signature.Conjunction ~cluster_size:2
+      [ "mac=00:11:22:33:44:55"; "operator=44010" ] ]
+
+let entry v = Store.Publish { version = v; signatures }
+
+let bench_one n =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store, _ =
+        match Store.open_ ~dir with Ok v -> v | Error e -> failwith e
+      in
+      let (), append_s =
+        time (fun () ->
+            for v = 1 to n do
+              Store.log store (entry v)
+            done)
+      in
+      let wal_bytes = Store.wal_size store in
+      Store.close store;
+      let recovered, replay_s =
+        time (fun () ->
+            match Store.open_ ~dir with Ok v -> v | Error e -> failwith e)
+      in
+      let store', report = recovered in
+      assert (report.Store.replayed = n);
+      assert ((Store.state store').Store.server_version = n);
+      let (), compact_s = time (fun () -> Store.compact store') in
+      Store.close store';
+      (* Recovery from the snapshot alone (empty log). *)
+      let recovered2, snap_open_s =
+        time (fun () ->
+            match Store.open_ ~dir with Ok v -> v | Error e -> failwith e)
+      in
+      let store'', report2 = recovered2 in
+      assert (report2.Store.snapshot = Store.Loaded);
+      Store.close store'';
+      Printf.printf
+        "%6d records: append %7.1f ms (%8.0f rec/s), replay %7.1f ms, compact %5.1f ms, snapshot-open %5.1f ms, wal %7d B\n%!"
+        n (1000. *. append_s)
+        (float_of_int n /. append_s)
+        (1000. *. replay_s) (1000. *. compact_s) (1000. *. snap_open_s)
+        wal_bytes;
+      Json.Obj
+        [ ("records", Json.Int n);
+          ("wal_bytes", Json.Int wal_bytes);
+          ("append_s", Json.Float append_s);
+          ("append_records_per_s", Json.Float (float_of_int n /. append_s));
+          ("replay_s", Json.Float replay_s);
+          ("compact_s", Json.Float compact_s);
+          ("snapshot_open_s", Json.Float snap_open_s) ])
+
+let () =
+  let sizes = if quick then [ 1_000; 5_000 ] else [ 1_000; 5_000; 20_000 ] in
+  Printf.printf "store durability benchmark (%s)\n%!"
+    (if quick then "quick" else "full");
+  let rows = List.map bench_one sizes in
+  let doc =
+    Json.Obj
+      [ ("bench", Json.String "store");
+        ("quick", Json.Bool quick);
+        ("wal_magic", Json.String Wal.magic);
+        ("sizes", Json.List rows) ]
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_store.json\n"

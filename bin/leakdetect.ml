@@ -7,7 +7,9 @@
      detect     apply a signature file to a trace
      evaluate   full pipeline with the paper's TP/FN/FP metrics
      monitor    replay a trace through the on-device flow-control app
-     chaos      fault-injection soak over the ingest/distribute/enforce path *)
+     chaos      fault-injection soak over the ingest/distribute/enforce path,
+                including crash/recover trials against the durable store
+     store      recover and inspect a durable signature-state directory *)
 
 open Cmdliner
 
@@ -32,6 +34,8 @@ module Fault = Leakdetect_fault.Fault
 module Flow_control = Leakdetect_monitor.Flow_control
 module Signature_client = Leakdetect_monitor.Signature_client
 module Signature_server = Leakdetect_monitor.Signature_server
+module Store = Leakdetect_store.Store
+module Wal = Leakdetect_store.Wal
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -81,6 +85,19 @@ let load_records ~trace ~seed ~scale =
     | Ok (records, _) -> Array.of_list records
     | Error e -> exit_err "cannot load %s: %s" path e)
   | None -> (Workload.generate ~seed ~scale ()).Workload.records
+
+let load_signatures path =
+  match Signature_io.load ~on_error:`Skip path with
+  | Error e -> exit_err "cannot load %s: %s" path e
+  | Ok (signatures, skips) ->
+    if skips.Trace.skipped > 0 then begin
+      Printf.eprintf "leakdetect: %s: skipped %d malformed signature line(s)\n" path
+        skips.Trace.skipped;
+      List.iter
+        (fun (lineno, e) -> Printf.eprintf "  line %d: %s\n" lineno e)
+        skips.Trace.sample
+    end;
+    signatures
 
 let split_records records =
   let suspicious = ref [] and normal = ref [] in
@@ -366,11 +383,7 @@ let cluster_cmd =
 let detect_cmd =
   let run seed scale trace sig_file verbose =
     let records = load_records ~trace ~seed ~scale in
-    let signatures =
-      match Signature_io.load sig_file with
-      | Ok s -> s
-      | Error e -> exit_err "cannot load %s: %s" sig_file e
-    in
+    let signatures = load_signatures sig_file in
     let detector = Detector.create signatures in
     let detected = ref 0 in
     Array.iter
@@ -451,11 +464,7 @@ let evaluate_cmd =
 let monitor_cmd =
   let run seed scale trace sig_file limit =
     let records = load_records ~trace ~seed ~scale in
-    let signatures =
-      match Signature_io.load sig_file with
-      | Ok s -> s
-      | Error e -> exit_err "cannot load %s: %s" sig_file e
-    in
+    let signatures = load_signatures sig_file in
     let monitor = Leakdetect_monitor.Flow_control.create signatures in
     let n = min limit (Array.length records) in
     for i = 0 to n - 1 do
@@ -485,9 +494,27 @@ let monitor_cmd =
 
 (* --- chaos --- *)
 
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spit path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
 let chaos_cmd =
   let run () seed scale n corrupt truncate drop duplicate delay server_error syncs
-      fail_closed limit =
+      fail_closed limit crash_points crash_rate torn_write_rate state_dir =
     let fault_config =
       { Fault.default with
         Fault.corrupt_rate = corrupt;
@@ -496,6 +523,8 @@ let chaos_cmd =
         duplicate_rate = duplicate;
         delay_rate = delay;
         server_error_rate = server_error;
+        crash_rate;
+        torn_write_rate;
       }
     in
     let soak () =
@@ -650,6 +679,163 @@ let chaos_cmd =
         base_detected total base_rate chaos_detected n_recovered chaos_rate
         (chaos_rate -. base_rate);
 
+      (* Durability soak: replay the publish/sync history through the WAL,
+         then crash the log at plan-chosen byte offsets (with torn-write
+         damage on the committed image), recover each time, and check the
+         recovered state against the committed history. *)
+      let state_root, cleanup_root =
+        match state_dir with
+        | Some d ->
+          if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+          (d, false)
+        | None ->
+          let d = Filename.temp_file "leakdetect_state" "" in
+          Sys.remove d;
+          Sys.mkdir d 0o755;
+          (d, true)
+      in
+      let dur_plan = Fault.create ~seed:(seed + 4) fault_config in
+      Fun.protect
+        ~finally:(fun () -> if cleanup_root then rm_rf state_root)
+        (fun () ->
+          let history_dir = Filename.concat state_root "history" in
+          if Sys.file_exists history_dir then rm_rf history_dir;
+          let store, _report =
+            match Store.open_ ~dir:history_dir with
+            | Ok x -> x
+            | Error e -> exit_err "cannot open store %s: %s" history_dir e
+          in
+          (* Committed history: state after every logged entry, keyed by the
+             WAL size at which it became durable.  Offset 0 covers crash
+             points inside the log header itself. *)
+          let dur_server = Signature_server.create () in
+          let dur_client = Signature_client.create ~seed:(seed + 5) () in
+          let history = ref [ (0, Store.state store) ] in
+          let checkpoint () =
+            if fst (List.hd !history) <> Store.wal_size store then
+              history := (Store.wal_size store, Store.state store) :: !history
+          in
+          for round = 1 to syncs do
+            let upto = max 1 (n_sigs * round / syncs) in
+            ignore
+              (Signature_server.publish dur_server
+                 (Array.to_list (Array.sub all_signatures 0 upto)));
+            Store.record_publish store dur_server;
+            checkpoint ();
+            ignore
+              (Signature_client.sync dur_client
+                 ~fetch:(Signature_server.fetch dur_server));
+            Store.record_sync store dur_client;
+            checkpoint ()
+          done;
+          let final_state = Store.state store in
+          let boundaries = List.rev_map fst !history in
+          Store.close store;
+          let wal_image = slurp (Store.wal_path ~dir:history_dir) in
+
+          (* Uninterrupted recovery must restore the exact final state and
+             a byte-identical signature set. *)
+          let recovered_sigs =
+            match Store.open_ ~dir:history_dir with
+            | Error e -> exit_err "clean recovery failed: %s" e
+            | Ok (store', report) ->
+              if report.Store.tail <> Wal.Clean then
+                exit_err "clean log reported a torn tail: %s"
+                  (Store.report_to_string report);
+              if not (Store.state_equal (Store.state store') final_state) then
+                exit_err "clean recovery diverged from the pre-restart state";
+              let sigs = Signature_client.signatures (Store.restore_client store') in
+              Store.close store';
+              sigs
+          in
+          let serialize sigs = String.concat "\n" (List.map Signature_io.to_line sigs) in
+          if serialize recovered_sigs <> serialize (Signature_client.signatures dur_client)
+          then exit_err "recovered signature set is not byte-identical";
+          let recovered_detected =
+            Detector.count_detected (Detector.create recovered_sigs) (Workload.packets ds)
+          in
+          Printf.printf
+            "\ndurability: %d committed checkpoints (%d WAL bytes); clean recovery detects %d/%d (baseline %d)\n"
+            (List.length !history - 1)
+            (String.length wal_image) recovered_detected total base_detected;
+          if recovered_detected <> base_detected then
+            exit_err "post-recovery detection diverged from the fault-free baseline";
+
+          (* Crash-point loop: every trial must recover to a committed
+             state — the exact pre-crash one unless torn-write damage
+             forced an earlier truncation. *)
+          let last_record_start =
+            match boundaries with
+            | _ :: _ ->
+              List.fold_left
+                (fun acc b -> if b < String.length wal_image then max acc b else acc)
+                0 boundaries
+            | [] -> 0
+          in
+          let exact = ref 0 and earlier = ref 0 in
+          for trial = 1 to crash_points do
+            let torn_before = Fault.count dur_plan Fault.Torn_write in
+            let damaged =
+              Fault.torn_write dur_plan ~protect:(String.length Wal.magic)
+                ~tail_start:last_record_start wal_image
+            in
+            let torn_fired = Fault.count dur_plan Fault.Torn_write > torn_before in
+            let cut =
+              match Fault.crash_point dur_plan ~len:(String.length damaged) with
+              | Some off -> off
+              | None -> String.length damaged
+            in
+            let damaged = String.sub damaged 0 cut in
+            let crash_dir = Filename.concat state_root (Printf.sprintf "crash%d" trial) in
+            if Sys.file_exists crash_dir then rm_rf crash_dir;
+            Sys.mkdir crash_dir 0o755;
+            spit (Store.wal_path ~dir:crash_dir) damaged;
+            (match Store.open_ ~dir:crash_dir with
+            | Error e -> exit_err "trial %d: recovery failed: %s" trial e
+            | Ok (store', _report) ->
+              let recovered = Store.state store' in
+              Store.close store';
+              let expected =
+                List.fold_left
+                  (fun acc (off, st) ->
+                    match acc with
+                    | Some (best, _) when best >= off -> acc
+                    | _ when off <= cut -> Some (off, st)
+                    | _ -> acc)
+                  None !history
+                |> Option.map snd
+                |> Option.value ~default:Store.empty_state
+              in
+              if (not torn_fired) && not (Store.state_equal recovered expected) then
+                exit_err "trial %d: crash at byte %d did not restore the committed state"
+                  trial cut;
+              if Store.state_equal recovered expected then incr exact
+              else if List.exists (fun (_, st) -> Store.state_equal recovered st) !history
+              then incr earlier
+              else
+                exit_err "trial %d: recovery produced a state that was never committed"
+                  trial);
+            rm_rf crash_dir
+          done;
+          Printf.printf
+            "durability: %d crash trials — %d exact pre-crash restores, %d truncated to an earlier committed state\n"
+            crash_points !exact !earlier;
+
+          (* Compaction: snapshot + log reset must preserve the state. *)
+          match Store.open_ ~dir:history_dir with
+          | Error e -> exit_err "reopen for compaction failed: %s" e
+          | Ok (store', _) ->
+            Store.compact store';
+            Store.close store';
+            (match Store.open_ ~dir:history_dir with
+            | Error e -> exit_err "post-compaction recovery failed: %s" e
+            | Ok (store'', report) ->
+              if not (Store.state_equal (Store.state store'') final_state) then
+                exit_err "compaction changed the recovered state";
+              Printf.printf "durability: compaction ok (%s)\n"
+                (Store.report_to_string report);
+              Store.close store''));
+
       Printf.printf "\nfaults injected:\n";
       List.iter
         (fun (plan_name, plan) ->
@@ -658,7 +844,7 @@ let chaos_cmd =
             (fun (k, c) -> Printf.printf " %s=%d" (Fault.kind_name k) c)
             (Fault.summary plan);
           print_newline ())
-        [ ("ingest", ingest_plan); ("sync", sync_plan) ]
+        [ ("ingest", ingest_plan); ("sync", sync_plan); ("store", dur_plan) ]
     in
     match soak () with
     | () -> Printf.printf "uncaught exceptions: 0\n"
@@ -696,19 +882,82 @@ let chaos_cmd =
     Arg.(value & opt int 150
         & info [ "n"; "sample" ] ~docv:"N" ~doc:"Suspicious packets sampled for signatures.")
   in
+  let crash_points =
+    Arg.(value & opt int 8
+        & info [ "crash-points" ] ~docv:"N"
+            ~doc:"Crash/recover trials in the durability soak.")
+  in
+  let crash_rate =
+    rate ~names:[ "crash-rate" ]
+      ~doc:"Probability a durability trial cuts the log at a crash point." ~default:0.75
+  in
+  let torn_write_rate =
+    rate ~names:[ "torn-write-rate" ]
+      ~doc:"Probability a durability trial damages committed log bytes." ~default:0.25
+  in
+  let state_dir =
+    Arg.(value
+        & opt (some string) None
+        & info [ "state-dir" ] ~docv:"DIR"
+            ~doc:
+              "Durable state directory for the soak (kept afterwards; inspect with \
+               $(b,leakdetect store)).  Default: a temporary directory, removed at exit.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "End-to-end fault-injection soak: generate a workload, ship it through a \
-          faulty wire, sync signatures through the resilient client and report recovery.")
+          faulty wire, sync signatures through the resilient client, crash and \
+          recover the durable signature store, and report recovery.")
     Term.(const run $ setup_log_t $ seed_t $ scale_small $ n_small $ corrupt $ truncate
-          $ drop $ duplicate $ delay $ server_error $ syncs $ fail_closed $ limit)
+          $ drop $ duplicate $ delay $ server_error $ syncs $ fail_closed $ limit
+          $ crash_points $ crash_rate $ torn_write_rate $ state_dir)
+
+(* --- store --- *)
+
+let store_cmd =
+  let run () dir compact =
+    match Store.open_ ~dir with
+    | Error e -> exit_err "cannot open store %s: %s" dir e
+    | Ok (store, report) ->
+      Printf.printf "state dir: %s\nrecovery:  %s\n" dir (Store.report_to_string report);
+      let st = Store.state store in
+      Printf.printf "server:    v%d, %d signature(s)\n" st.Store.server_version
+        (List.length st.Store.server_signatures);
+      Printf.printf "client:    v%d, %d signature(s), health %s\n" st.Store.client_version
+        (List.length st.Store.client_signatures)
+        (Signature_client.health_to_string st.Store.client_health);
+      Printf.printf "wal:       %d byte(s) at %s\n" (Store.wal_size store)
+        (Store.wal_path ~dir);
+      if compact then begin
+        Store.compact store;
+        Printf.printf "compacted: snapshot written, log reset to %d byte(s)\n"
+          (Store.wal_size store)
+      end;
+      Store.close store
+  in
+  let dir =
+    Arg.(required
+        & opt (some string) None
+        & info [ "state-dir" ] ~docv:"DIR" ~doc:"Durable state directory.")
+  in
+  let compact =
+    Arg.(value & flag
+        & info [ "compact" ]
+            ~doc:"Fold the recovered state into an atomic snapshot and reset the log.")
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Recover a durable signature-state directory and report what was salvaged; \
+          optionally compact the write-ahead log into a snapshot.")
+    Term.(const run $ setup_log_t $ dir $ compact)
 
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
   Cmd.group
     (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
     [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
-      monitor_cmd; chaos_cmd ]
+      monitor_cmd; chaos_cmd; store_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

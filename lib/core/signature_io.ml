@@ -74,17 +74,22 @@ let save path signatures =
           output_char oc '\n')
         signatures)
 
-let load path =
+module Trace = Leakdetect_http.Trace
+
+let load ?(on_error = `Fail) path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec loop lineno acc =
+      let rec loop lineno acc skips =
         match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
+        | exception End_of_file -> Ok (List.rev acc, skips)
         | line -> (
           match of_line line with
-          | Ok s -> loop (lineno + 1) (s :: acc)
-          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+          | Ok s -> loop (lineno + 1) (s :: acc) skips
+          | Error e -> (
+            match on_error with
+            | `Fail -> Error (Printf.sprintf "line %d: %s" lineno e)
+            | `Skip -> loop (lineno + 1) acc (Trace.add_skip skips lineno e)))
       in
-      loop 1 [])
+      loop 1 [] Trace.no_skips)

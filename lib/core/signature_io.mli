@@ -12,4 +12,12 @@ val to_line : Signature.t -> string
 val of_line : string -> (Signature.t, string) result
 
 val save : string -> Signature.t list -> unit
-val load : string -> (Signature.t list, string) result
+
+val load :
+  ?on_error:[ `Fail | `Skip ] ->
+  string ->
+  (Signature.t list * Leakdetect_http.Trace.skipped, string) result
+(** Reads a signature file.  Like the trace readers, [`Fail] (the default)
+    reports the first malformed line with its line number; [`Skip]
+    salvages every parseable signature and counts the skipped lines,
+    keeping a sample of the offending line numbers and errors. *)

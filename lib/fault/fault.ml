@@ -1,6 +1,14 @@
 module Prng = Leakdetect_util.Prng
 
-type kind = Corrupt | Truncate | Drop | Duplicate | Delay | Server_error
+type kind =
+  | Corrupt
+  | Truncate
+  | Drop
+  | Duplicate
+  | Delay
+  | Server_error
+  | Crash
+  | Torn_write
 
 let kind_name = function
   | Corrupt -> "corrupt"
@@ -9,8 +17,11 @@ let kind_name = function
   | Duplicate -> "duplicate"
   | Delay -> "delay"
   | Server_error -> "server-error"
+  | Crash -> "crash"
+  | Torn_write -> "torn-write"
 
-let all_kinds = [ Corrupt; Truncate; Drop; Duplicate; Delay; Server_error ]
+let all_kinds =
+  [ Corrupt; Truncate; Drop; Duplicate; Delay; Server_error; Crash; Torn_write ]
 
 type config = {
   corrupt_rate : float;
@@ -21,6 +32,8 @@ type config = {
   delay_rate : float;
   max_delay : int;
   server_error_rate : float;
+  crash_rate : float;
+  torn_write_rate : float;
 }
 
 let none =
@@ -33,6 +46,8 @@ let none =
     delay_rate = 0.;
     max_delay = 0;
     server_error_rate = 0.;
+    crash_rate = 0.;
+    torn_write_rate = 0.;
   }
 
 let default =
@@ -45,6 +60,8 @@ let default =
     delay_rate = 0.1;
     max_delay = 4;
     server_error_rate = 0.2;
+    crash_rate = 0.1;
+    torn_write_rate = 0.05;
   }
 
 type event = { seq : int; kind : kind; detail : string }
@@ -109,6 +126,38 @@ let apply_stream t items =
       end
       else [ x ])
     items
+
+let crash_point t ~len =
+  if len > 0 && Prng.chance t.rng t.config.crash_rate then begin
+    let off = Prng.int t.rng len in
+    record t Crash (Printf.sprintf "after %d of %d bytes" off len);
+    Some off
+  end
+  else None
+
+let torn_write t ~protect ~tail_start s =
+  let len = String.length s in
+  let protect = max 0 protect in
+  let tail_start = min (max protect tail_start) len in
+  if len <= protect || not (Prng.chance t.rng t.config.torn_write_rate) then s
+  else if Prng.bool t.rng then begin
+    (* Bit-flip one committed byte past the protected header. *)
+    let i = protect + Prng.int t.rng (len - protect) in
+    let bit = Prng.int t.rng 8 in
+    record t Torn_write (Printf.sprintf "bit %d of byte %d flipped" bit i);
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+  else begin
+    (* Replay the tail record, as a half-applied rewrite would. *)
+    let dup = len - tail_start in
+    if dup = 0 then s
+    else begin
+      record t Torn_write (Printf.sprintf "tail record duplicated (%d bytes)" dup);
+      s ^ String.sub s tail_start dup
+    end
+  end
 
 type server_fate = Respond | Respond_delayed of int | Fail of int
 

@@ -14,7 +14,18 @@
     for the "fault-free run reproduces baseline metrics exactly" property
     the chaos soak checks. *)
 
-type kind = Corrupt | Truncate | Drop | Duplicate | Delay | Server_error
+type kind =
+  | Corrupt
+  | Truncate
+  | Drop
+  | Duplicate
+  | Delay
+  | Server_error
+  | Crash  (** A write dies partway through: only a prefix reaches disk. *)
+  | Torn_write
+      (** Committed storage bytes are damaged: a bit flip inside a committed
+          record, or a tail record replayed (duplicated) by a half-applied
+          rewrite. *)
 
 val kind_name : kind -> string
 val all_kinds : kind list
@@ -28,6 +39,8 @@ type config = {
   delay_rate : float;  (** Probability a server interaction is delayed. *)
   max_delay : int;  (** Upper bound on delay, in simulated ticks. *)
   server_error_rate : float;  (** Probability of a transient server error. *)
+  crash_rate : float;  (** Probability a storage write is cut short. *)
+  torn_write_rate : float;  (** Probability committed bytes get damaged. *)
 }
 
 val none : config
@@ -35,7 +48,8 @@ val none : config
 
 val default : config
 (** The chaos-soak default: 10% corruption, 20% transient server errors,
-    light truncation / drop / duplication / delay. *)
+    10% crash points, light truncation / drop / duplication / delay /
+    torn writes. *)
 
 type event = { seq : int; kind : kind; detail : string }
 
@@ -61,6 +75,19 @@ val corrupt_string : plan -> string -> string
 val apply_stream : plan -> 'a list -> 'a list
 (** Record-level injector: each element is independently dropped, doubled
     or passed through. *)
+
+val crash_point : plan -> len:int -> int option
+(** Storage-crash injector: with probability [crash_rate], [Some n] with
+    [0 <= n < len] — the process dies after [n] bytes of a [len]-byte
+    write reach disk.  [None] (the write completes) otherwise, always at
+    rate 0, and always when [len <= 0]. *)
+
+val torn_write : plan -> protect:int -> tail_start:int -> string -> string
+(** Committed-bytes injector for a log image: with probability
+    [torn_write_rate] either flips one bit of a byte at offset
+    [>= protect] (the protected file header) or appends a copy of the
+    tail record starting at [tail_start].  Identity otherwise, and on
+    images no longer than [protect]. *)
 
 type server_fate = Respond | Respond_delayed of int | Fail of int
 

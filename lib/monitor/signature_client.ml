@@ -8,6 +8,12 @@ let health_to_string = function
   | Degraded -> "degraded"
   | Stale -> "stale"
 
+let health_of_string = function
+  | "healthy" -> Some Healthy
+  | "degraded" -> Some Degraded
+  | "stale" -> Some Stale
+  | _ -> None
+
 type config = {
   max_attempts : int;
   base_backoff : int;
@@ -47,6 +53,20 @@ let create ?(config = default_config) ?(seed = 0) () =
     version_gap = 0;
     last_error = None;
   }
+
+let restore ?config ?seed ~version ~signatures ~health () =
+  if version < 0 then invalid_arg "Signature_client.restore: version < 0";
+  let t = create ?config ?seed () in
+  t.version <- version;
+  t.signatures <- signatures;
+  t.health <- health;
+  (* A restart wipes the failure counters: the restored set is
+     last-known-good, and staleness is re-established by live syncs. *)
+  (match health with
+  | Healthy -> ()
+  | Degraded -> t.failed_syncs <- 1
+  | Stale -> t.failed_syncs <- t.config.stale_after);
+  t
 
 let version t = t.version
 let signatures t = t.signatures

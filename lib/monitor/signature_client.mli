@@ -26,6 +26,10 @@ type health = Healthy | Degraded | Stale
 
 val health_to_string : health -> string
 
+val health_of_string : string -> health option
+(** Inverse of {!health_to_string}; [None] on anything else.  Used by the
+    durable store to decode persisted health transitions. *)
+
 type config = {
   max_attempts : int;  (** Fetch attempts per sync (>= 1). *)
   base_backoff : int;  (** Ticks before the first retry. *)
@@ -43,6 +47,21 @@ type t
 val create : ?config:config -> ?seed:int -> unit -> t
 (** [create ()] starts at version 0 with no signatures and [Healthy]
     health.  [seed] (default 0) drives the backoff jitter only. *)
+
+val restore :
+  ?config:config ->
+  ?seed:int ->
+  version:int ->
+  signatures:Leakdetect_core.Signature.t list ->
+  health:health ->
+  unit ->
+  t
+(** Rebuild a client from recovered durable state ({!Leakdetect_store})
+    after a restart: the given set becomes last-known-good and the next
+    sync fetches with [since:version].  Failure counters restart at the
+    floor implied by [health] ([Degraded] → one failed sync, [Stale] →
+    [stale_after]); per-attempt history does not survive the crash.
+    @raise Invalid_argument on a negative version. *)
 
 val version : t -> int
 (** Last-known-good signature version (0 before the first update). *)

@@ -6,12 +6,17 @@ type t = { mutable version : int; mutable signatures : Signature.t list }
 
 let create () = { version = 0; signatures = [] }
 
+let restore ~version ~signatures =
+  if version < 0 then invalid_arg "Signature_server.restore: version < 0";
+  { version; signatures }
+
 let publish t signatures =
   t.version <- t.version + 1;
   t.signatures <- signatures;
   t.version
 
 let current_version t = t.version
+let signatures t = t.signatures
 let endpoint = "/signatures"
 
 let body_of t =

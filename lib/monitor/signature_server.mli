@@ -11,11 +11,19 @@ type t
 
 val create : unit -> t
 
+val restore : version:int -> signatures:Leakdetect_core.Signature.t list -> t
+(** Rebuild a server from recovered durable state ({!Leakdetect_store}):
+    the next {!publish} continues from [version + 1].
+    @raise Invalid_argument on a negative version. *)
+
 val publish : t -> Leakdetect_core.Signature.t list -> int
 (** Installs a new signature set; returns the new version (starting at 1). *)
 
 val current_version : t -> int
 (** 0 before the first {!publish}. *)
+
+val signatures : t -> Leakdetect_core.Signature.t list
+(** The currently published set (empty before the first {!publish}). *)
 
 val endpoint : string
 (** Request path, ["/signatures"]. *)

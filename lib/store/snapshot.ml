@@ -1,0 +1,42 @@
+module Crc32 = Leakdetect_util.Crc32
+
+let magic = "LDSNAP01"
+
+let write path payload =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc (Wal.frame payload);
+      flush oc);
+  Sys.rename tmp path
+
+let read path =
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let ic = open_in_bin path in
+    let image =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let n = String.length image in
+    let mlen = String.length magic in
+    if n < mlen || String.sub image 0 mlen <> magic then
+      Error (Printf.sprintf "%s: bad snapshot header" path)
+    else if n < mlen + 8 then Error (Printf.sprintf "%s: truncated snapshot frame" path)
+    else begin
+      let len = Wal.get_u32le image mlen in
+      let crc = Wal.get_u32le image (mlen + 4) in
+      if mlen + 8 + len <> n then
+        Error (Printf.sprintf "%s: snapshot length %d does not match file" path len)
+      else begin
+        let payload = String.sub image (mlen + 8) len in
+        if Crc32.string payload <> crc then
+          Error (Printf.sprintf "%s: snapshot crc mismatch" path)
+        else Ok (Some payload)
+      end
+    end
+  end

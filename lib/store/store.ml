@@ -1,0 +1,277 @@
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+module Signature_client = Leakdetect_monitor.Signature_client
+module Signature_server = Leakdetect_monitor.Signature_server
+
+(* --- entries --- *)
+
+type entry =
+  | Publish of { version : int; signatures : Signature.t list }
+  | Sync of { version : int; signatures : Signature.t list }
+  | Health of Signature_client.health
+
+(* Payload codec: a tag line, a version (or health) line, then one
+   Signature_io line per signature.  Signature tokens escape newlines, so
+   splitting on '\n' is safe. *)
+
+let entry_to_payload entry =
+  match entry with
+  | Publish { version; signatures } | Sync { version; signatures } ->
+    let tag = match entry with Publish _ -> "publish" | _ -> "sync" in
+    String.concat "\n"
+      (tag :: string_of_int version :: List.map Signature_io.to_line signatures)
+  | Health h -> "health\n" ^ Signature_client.health_to_string h
+
+let parse_signatures lines =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Signature_io.of_line line with
+      | Ok s -> loop (s :: acc) rest
+      | Error e -> Error ("bad signature line: " ^ e))
+  in
+  loop [] lines
+
+let entry_of_payload payload =
+  match String.split_on_char '\n' payload with
+  | [ "health"; h ] -> (
+    match Signature_client.health_of_string h with
+    | Some h -> Ok (Health h)
+    | None -> Error (Printf.sprintf "unknown health %S" h))
+  | (("publish" | "sync") as tag) :: version :: sig_lines -> (
+    match int_of_string_opt version with
+    | None -> Error (Printf.sprintf "bad version %S" version)
+    | Some v when v < 0 -> Error (Printf.sprintf "negative version %d" v)
+    | Some version -> (
+      match parse_signatures sig_lines with
+      | Error _ as e -> e
+      | Ok signatures ->
+        Ok
+          (if tag = "publish" then Publish { version; signatures }
+           else Sync { version; signatures })))
+  | tag :: _ -> Error (Printf.sprintf "unknown entry tag %S" tag)
+  | [] -> Error "empty entry"
+
+(* --- state --- *)
+
+type state = {
+  server_version : int;
+  server_signatures : Signature.t list;
+  client_version : int;
+  client_signatures : Signature.t list;
+  client_health : Signature_client.health;
+}
+
+let empty_state =
+  {
+    server_version = 0;
+    server_signatures = [];
+    client_version = 0;
+    client_signatures = [];
+    client_health = Signature_client.Healthy;
+  }
+
+let apply state = function
+  | Publish { version; signatures } when version > state.server_version ->
+    { state with server_version = version; server_signatures = signatures }
+  | Sync { version; signatures } when version > state.client_version ->
+    { state with client_version = version; client_signatures = signatures }
+  | Health h when h <> state.client_health -> { state with client_health = h }
+  | Publish _ | Sync _ | Health _ -> state
+
+let state_to_string s =
+  let sig_lines sigs = List.map Signature_io.to_line sigs in
+  String.concat "\n"
+    ((Printf.sprintf "server\t%d\t%d" s.server_version
+        (List.length s.server_signatures)
+     :: sig_lines s.server_signatures)
+    @ (Printf.sprintf "client\t%d\t%s\t%d" s.client_version
+         (Signature_client.health_to_string s.client_health)
+         (List.length s.client_signatures)
+      :: sig_lines s.client_signatures))
+
+let state_equal a b = state_to_string a = state_to_string b
+
+let take n lines =
+  let rec loop n acc = function
+    | rest when n = 0 -> Some (List.rev acc, rest)
+    | [] -> None
+    | line :: rest -> loop (n - 1) (line :: acc) rest
+  in
+  loop n [] lines
+
+let state_of_string payload =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' payload in
+  match lines with
+  | server_line :: rest -> (
+    match String.split_on_char '\t' server_line with
+    | [ "server"; v; n ] -> (
+      match (int_of_string_opt v, int_of_string_opt n) with
+      | Some server_version, Some n when server_version >= 0 && n >= 0 -> (
+        match take n rest with
+        | None -> Error "snapshot: server signature count overruns payload"
+        | Some (server_lines, rest) -> (
+          let* server_signatures = parse_signatures server_lines in
+          match rest with
+          | client_line :: rest -> (
+            match String.split_on_char '\t' client_line with
+            | [ "client"; v; h; n ] -> (
+              match
+                ( int_of_string_opt v,
+                  Signature_client.health_of_string h,
+                  int_of_string_opt n )
+              with
+              | Some client_version, Some client_health, Some n
+                when client_version >= 0 && n >= 0 -> (
+                match take n rest with
+                | None -> Error "snapshot: client signature count overruns payload"
+                | Some (client_lines, rest) ->
+                  if rest <> [] then Error "snapshot: trailing data"
+                  else
+                    let* client_signatures = parse_signatures client_lines in
+                    Ok
+                      {
+                        server_version;
+                        server_signatures;
+                        client_version;
+                        client_signatures;
+                        client_health;
+                      })
+              | _ -> Error "snapshot: bad client line")
+            | _ -> Error "snapshot: bad client line")
+          | [] -> Error "snapshot: missing client line"))
+      | _ -> Error "snapshot: bad server line")
+    | _ -> Error "snapshot: bad server line")
+  | [] -> Error "snapshot: empty payload"
+
+(* --- recovery report --- *)
+
+type snapshot_status = Loaded | Absent | Corrupt of string
+
+type report = {
+  snapshot : snapshot_status;
+  replayed : int;
+  stale : int;
+  undecodable : int;
+  tail : Wal.tail;
+}
+
+let report_to_string r =
+  Printf.sprintf "snapshot %s; %d entr%s replayed (%d stale), %d undecodable; tail %s"
+    (match r.snapshot with
+    | Loaded -> "loaded"
+    | Absent -> "absent"
+    | Corrupt e -> Printf.sprintf "CORRUPT (%s)" e)
+    r.replayed
+    (if r.replayed = 1 then "y" else "ies")
+    r.stale r.undecodable
+    (Wal.tail_to_string r.tail)
+
+(* --- the store --- *)
+
+type t = { dir : string; mutable writer : Wal.writer; mutable state : state }
+
+let wal_path ~dir = Filename.concat dir "wal.log"
+let snapshot_path ~dir = Filename.concat dir "snapshot"
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (Printf.sprintf "%s exists and is not a directory" dir)
+  else
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Sys_error e -> Error e
+
+let open_ ~dir =
+  match ensure_dir dir with
+  | Error _ as e -> e
+  | Ok () -> (
+    let snapshot, state0 =
+      match Snapshot.read (snapshot_path ~dir) with
+      | Ok None -> (Absent, empty_state)
+      | Ok (Some payload) -> (
+        match state_of_string payload with
+        | Ok s -> (Loaded, s)
+        | Error e -> (Corrupt e, empty_state))
+      | Error e -> (Corrupt e, empty_state)
+    in
+    let wal = wal_path ~dir in
+    let replay () =
+      if not (Sys.file_exists wal) then Ok (state0, 0, 0, 0, Wal.Clean)
+      else
+        match Wal.read wal with
+        | Error _ as e -> e
+        | Ok (payloads, tail) ->
+          let state, replayed, stale, undecodable =
+            List.fold_left
+              (fun (state, replayed, stale, undecodable) payload ->
+                match entry_of_payload payload with
+                | Error _ -> (state, replayed, stale, undecodable + 1)
+                | Ok entry ->
+                  let state' = apply state entry in
+                  ( state',
+                    replayed + 1,
+                    stale + (if state' == state then 1 else 0),
+                    undecodable ))
+              (state0, 0, 0, 0) payloads
+          in
+          (* Truncate the torn tail in place so appends extend a clean log. *)
+          (match tail with
+          | Wal.Clean -> Ok (state, replayed, stale, undecodable, tail)
+          | Wal.Torn _ -> (
+            match Wal.repair wal with
+            | Ok _ -> Ok (state, replayed, stale, undecodable, tail)
+            | Error _ as e -> e))
+    in
+    match replay () with
+    | Error _ as e -> e
+    | Ok (state, replayed, stale, undecodable, tail) -> (
+      match Wal.open_append wal with
+      | Error _ as e -> e
+      | Ok writer ->
+        ( { dir; writer; state },
+          { snapshot; replayed; stale; undecodable; tail } )
+        |> Result.ok))
+
+let state t = t.state
+let wal_size t = Wal.size t.writer
+
+let log t entry =
+  Wal.append t.writer (entry_to_payload entry);
+  t.state <- apply t.state entry
+
+let compact t =
+  Snapshot.write (snapshot_path ~dir:t.dir) (state_to_string t.state);
+  (* Crash window here: new snapshot + old log.  Replay is idempotent, so
+     recovery lands on the same state. *)
+  Wal.close t.writer;
+  t.writer <- Wal.create (wal_path ~dir:t.dir)
+
+let close t = Wal.close t.writer
+
+(* --- monitor integration --- *)
+
+let record_publish t server =
+  log t
+    (Publish
+       {
+         version = Signature_server.current_version server;
+         signatures = Signature_server.signatures server;
+       })
+
+let record_sync t client =
+  let version = Signature_client.version client in
+  if version > t.state.client_version then
+    log t (Sync { version; signatures = Signature_client.signatures client });
+  let health = Signature_client.health client in
+  if health <> t.state.client_health then log t (Health health)
+
+let restore_server t =
+  Signature_server.restore ~version:t.state.server_version
+    ~signatures:t.state.server_signatures
+
+let restore_client ?config ?seed t =
+  Signature_client.restore ?config ?seed ~version:t.state.client_version
+    ~signatures:t.state.client_signatures ~health:t.state.client_health ()

@@ -1,0 +1,134 @@
+(** Crash-safe durability for the signature-distribution state.
+
+    The Figure 3 loop has two pieces of state worth surviving a restart:
+    the generation server's published signature set (with its version
+    counter) and the on-device client's last-known-good set (with its
+    health).  This module keeps both in a state directory:
+
+      {v
+      <dir>/wal.log   append-only log of entries (Wal framing)
+      <dir>/snapshot  latest compaction point (Snapshot framing)
+      v}
+
+    Every mutation is logged as an {!entry} and flushed before the call
+    returns; {!compact} folds the log into an atomic snapshot and resets
+    it.  {!open_} recovers: load the snapshot (if intact), replay the
+    log, truncate a torn tail in place, and report exactly what was
+    salvaged versus dropped ({!report}).
+
+    Recovery invariants (exercised by the [leakdetect chaos] soak and the
+    store test suite):
+
+    - a crash at any byte offset of the WAL loses at most the entries
+      whose [append] had not yet returned — committed entries replay
+      bit-identically;
+    - {!apply} is idempotent w.r.t. versions, so a tail record duplicated
+      by a torn rewrite, or a log replayed over a newer snapshot (the
+      crash window between snapshot rename and log reset), cannot move
+      the state backwards or double-apply;
+    - a damaged snapshot is reported, never trusted: recovery falls back
+      to WAL-only replay. *)
+
+module Signature = Leakdetect_core.Signature
+module Signature_client = Leakdetect_monitor.Signature_client
+module Signature_server = Leakdetect_monitor.Signature_server
+
+(** {1 Entries and state} *)
+
+type entry =
+  | Publish of { version : int; signatures : Signature.t list }
+      (** The server installed a new signature set. *)
+  | Sync of { version : int; signatures : Signature.t list }
+      (** The client accepted a new last-known-good set. *)
+  | Health of Signature_client.health
+      (** The client's health state machine moved. *)
+
+val entry_to_payload : entry -> string
+val entry_of_payload : string -> (entry, string) result
+(** WAL payload codec for entries: a tag line, a version line, then one
+    {!Leakdetect_core.Signature_io} line per signature. *)
+
+type state = {
+  server_version : int;
+  server_signatures : Signature.t list;
+  client_version : int;
+  client_signatures : Signature.t list;
+  client_health : Signature_client.health;
+}
+
+val empty_state : state
+val apply : state -> entry -> state
+(** Versioned and idempotent: a [Publish]/[Sync] at a version no newer
+    than the current one is a no-op, as is re-entering the current
+    health. *)
+
+val state_equal : state -> state -> bool
+(** Byte-level equality: versions, health, and the serialized signature
+    lines must all agree. *)
+
+val state_to_string : state -> string
+(** Snapshot payload codec (also the equality witness). *)
+
+val state_of_string : string -> (state, string) result
+
+(** {1 Recovery report} *)
+
+type snapshot_status = Loaded | Absent | Corrupt of string
+
+type report = {
+  snapshot : snapshot_status;
+  replayed : int;  (** WAL entries applied during recovery. *)
+  stale : int;  (** Entries whose version was not newer: replay no-ops. *)
+  undecodable : int;
+      (** Checksum-valid records whose payload failed to decode — counted
+          and skipped, like the lenient trace readers. *)
+  tail : Wal.tail;  (** What, if anything, was truncated off the log. *)
+}
+
+val report_to_string : report -> string
+
+(** {1 The store} *)
+
+type t
+
+val wal_path : dir:string -> string
+val snapshot_path : dir:string -> string
+
+val open_ : dir:string -> (t * report, string) result
+(** Recover (creating [dir] and an empty log as needed) and open for
+    appending.  A torn WAL tail is truncated on disk so later appends
+    extend a clean log.  [Error] only when the directory is unusable or
+    the WAL header itself is damaged. *)
+
+val state : t -> state
+val wal_size : t -> int
+(** Bytes in the WAL right now, header included — the commit horizon:
+    a crash cutting the log at or past this offset loses nothing logged
+    so far. *)
+
+val log : t -> entry -> unit
+(** Append one entry, flush, and apply it to the in-memory state. *)
+
+val compact : t -> unit
+(** Snapshot the current state atomically, then reset the log.  A crash
+    between the two leaves the old log replaying over the new snapshot —
+    harmless, by {!apply} idempotence. *)
+
+val close : t -> unit
+
+(** {1 Monitor integration} *)
+
+val record_publish : t -> Signature_server.t -> unit
+(** Log the server's current version and set (call right after
+    [Signature_server.publish]). *)
+
+val record_sync : t -> Signature_client.t -> unit
+(** Log the client's last-known-good set and, when it changed, its
+    health (call right after [Signature_client.sync]). *)
+
+val restore_server : t -> Signature_server.t
+(** A server continuing from the recovered published state. *)
+
+val restore_client :
+  ?config:Signature_client.config -> ?seed:int -> t -> Signature_client.t
+(** A client continuing from the recovered last-known-good state. *)

@@ -1,0 +1,43 @@
+(* Reflected CRC-32 with the IEEE polynomial, one 256-entry table. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* The state is the bit-inverted running remainder, so [update] composes and
+   [value] is a pure read. *)
+type t = int
+
+let init = 0xFFFFFFFF
+
+let update_in table acc get pos len =
+  let acc = ref acc in
+  for i = pos to pos + len - 1 do
+    acc := table.((!acc lxor Char.code (get i)) land 0xff) lxor (!acc lsr 8)
+  done;
+  !acc
+
+let check_slice ~what ~length ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length then
+    invalid_arg (Printf.sprintf "Crc32.%s: slice [%d, %d) out of bounds" what pos (pos + len))
+
+let update t ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  check_slice ~what:"update" ~length:(String.length s) ~pos ~len;
+  update_in (Lazy.force table) t (String.unsafe_get s) pos len
+
+let value t = t lxor 0xFFFFFFFF
+let string s = value (update init s)
+
+let bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  check_slice ~what:"bytes" ~length:(Bytes.length b) ~pos ~len;
+  value (update_in (Lazy.force table) init (Bytes.unsafe_get b) pos len)
+let to_hex v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)

@@ -132,8 +132,10 @@ let test_signature_io_file () =
       Signature_io.save path sigs;
       match Signature_io.load path with
       | Error e -> Alcotest.failf "load: %s" e
-      | Ok loaded ->
+      | Ok (loaded, skips) ->
         Alcotest.(check int) "count" 2 (List.length loaded);
+        Alcotest.(check int) "no skips in fail mode" 0
+          skips.Leakdetect_http.Trace.skipped;
         Alcotest.(check bool) "mode preserved" true
           ((List.nth loaded 1).Signature.mode = Signature.Ordered))
 
@@ -142,6 +144,37 @@ let test_signature_io_errors () =
   Alcotest.(check bool) "too few fields" true (is_err "1\tconjunction\t2");
   Alcotest.(check bool) "bad mode" true (is_err "1\tboth\t2\ttok");
   Alcotest.(check bool) "bad id" true (is_err "x\tconjunction\t2\ttok")
+
+let test_signature_io_skip_mode () =
+  let sigs =
+    List.init 3 (fun i ->
+        Signature.make ~id:i ~mode:Signature.Conjunction ~cluster_size:2
+          [ Printf.sprintf "tok%d" i ])
+  in
+  let good = List.map Signature_io.to_line sigs in
+  let lines =
+    [ List.nth good 0; "not a signature"; List.nth good 1; "x\tbad\tline\ttok";
+      List.nth good 2 ]
+  in
+  let path = Filename.temp_file "leakdetect_sig_skip" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (String.concat "\n" lines ^ "\n");
+      close_out oc;
+      (match Signature_io.load path with
+      | Error e ->
+        Alcotest.(check bool) "fail mode reports line 2" true
+          (Leakdetect_text.Search.contains ~needle:"line 2" e)
+      | Ok _ -> Alcotest.fail "fail mode must error");
+      match Signature_io.load ~on_error:`Skip path with
+      | Error e -> Alcotest.failf "skip mode failed: %s" e
+      | Ok (loaded, skips) ->
+        Alcotest.(check int) "salvaged good signatures" 3 (List.length loaded);
+        Alcotest.(check int) "skip count" 2 skips.Leakdetect_http.Trace.skipped;
+        Alcotest.(check (list int)) "skipped line numbers" [ 2; 4 ]
+          (List.map fst skips.Leakdetect_http.Trace.sample))
 
 (* --- Obfuscation --- *)
 
@@ -303,6 +336,7 @@ let suite =
         Alcotest.test_case "line roundtrip" `Quick test_signature_io_roundtrip;
         Alcotest.test_case "file roundtrip" `Quick test_signature_io_file;
         Alcotest.test_case "errors" `Quick test_signature_io_errors;
+        Alcotest.test_case "skip mode salvages" `Quick test_signature_io_skip_mode;
       ] );
     ( "ext.obfuscation",
       [

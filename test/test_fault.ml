@@ -92,6 +92,69 @@ let test_fault_server_fate () =
   Alcotest.(check int) "summary covers all kinds" (List.length Fault.all_kinds)
     (List.length summary)
 
+(* --- Storage faults: crash points and torn writes --- *)
+
+let test_fault_crash_point () =
+  let plan = Fault.create ~seed:4 { Fault.none with Fault.crash_rate = 1.0 } in
+  for _ = 1 to 50 do
+    match Fault.crash_point plan ~len:64 with
+    | Some n -> Alcotest.(check bool) "0 <= n < len" true (n >= 0 && n < 64)
+    | None -> Alcotest.fail "rate 1 must always crash"
+  done;
+  Alcotest.(check int) "every crash recorded" 50 (Fault.count plan Fault.Crash);
+  Alcotest.(check bool) "len 0 never crashes" true
+    (Fault.crash_point plan ~len:0 = None);
+  let quiet = Fault.create ~seed:4 Fault.none in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "rate 0 completes every write" true
+      (Fault.crash_point quiet ~len:64 = None)
+  done;
+  Alcotest.(check int) "rate 0 records nothing" 0 (Fault.total quiet);
+  (* Same seed, same crash schedule. *)
+  let a = Fault.create ~seed:77 { Fault.none with Fault.crash_rate = 0.5 } in
+  let b = Fault.create ~seed:77 { Fault.none with Fault.crash_rate = 0.5 } in
+  let run p = List.init 40 (fun _ -> Fault.crash_point p ~len:100) in
+  Alcotest.(check bool) "deterministic" true (run a = run b)
+
+let test_fault_torn_write () =
+  let plan = Fault.create ~seed:9 { Fault.none with Fault.torn_write_rate = 1.0 } in
+  let header = "LDWAL001" in
+  let image = header ^ String.make 40 'r' ^ String.make 12 't' in
+  let protect = String.length header in
+  let tail_start = String.length image - 12 in
+  let flips = ref 0 and dups = ref 0 in
+  for _ = 1 to 40 do
+    let out = Fault.torn_write plan ~protect ~tail_start image in
+    if String.length out = String.length image then begin
+      (* Bit-flip branch: exactly one byte differs, never in the header. *)
+      let diffs = ref [] in
+      String.iteri (fun i c -> if c <> image.[i] then diffs := i :: !diffs) out;
+      (match !diffs with
+      | [ i ] ->
+        incr flips;
+        Alcotest.(check bool) "flip spares the header" true (i >= protect)
+      | _ -> Alcotest.fail "flip must change exactly one byte")
+    end
+    else begin
+      (* Duplication branch: the tail record is appended verbatim. *)
+      incr dups;
+      Alcotest.(check string) "image prefix intact" image
+        (String.sub out 0 (String.length image));
+      Alcotest.(check string) "tail duplicated"
+        (String.sub image tail_start 12)
+        (String.sub out (String.length image) 12)
+    end
+  done;
+  Alcotest.(check bool) "both damage modes exercised" true (!flips > 0 && !dups > 0);
+  Alcotest.(check int) "every tear recorded" 40 (Fault.count plan Fault.Torn_write);
+  (* Identity cases: nothing past the protected header, and rate 0. *)
+  Alcotest.(check string) "header-only image untouched" header
+    (Fault.torn_write plan ~protect ~tail_start:protect header);
+  let quiet = Fault.create ~seed:9 Fault.none in
+  Alcotest.(check string) "rate 0 is identity" image
+    (Fault.torn_write quiet ~protect ~tail_start image);
+  Alcotest.(check int) "rate 0 records nothing" 0 (Fault.total quiet)
+
 (* --- Hardened wire parsers --- *)
 
 let test_wire_limits () =
@@ -435,6 +498,8 @@ let suite =
         Alcotest.test_case "truncation" `Quick test_fault_truncate;
         Alcotest.test_case "drop/duplicate" `Quick test_fault_stream_drop_duplicate;
         Alcotest.test_case "server fate" `Quick test_fault_server_fate;
+        Alcotest.test_case "crash points" `Quick test_fault_crash_point;
+        Alcotest.test_case "torn writes" `Quick test_fault_torn_write;
       ] );
     ( "fault.parsers",
       [

@@ -292,8 +292,59 @@ let test_json_structures () =
   let pretty = to_string_pretty (Obj [ ("a", Int 1); ("b", List [ Int 2 ]) ]) in
   Alcotest.(check bool) "pretty has newlines" true (String.contains pretty '\n')
 
+(* --- Crc32 --- *)
+
+(* Known-answer vectors for CRC-32/IEEE (the "check" value of the catalog
+   entry plus two classics). *)
+let test_crc32_known_answers () =
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "quick brown fox" 0x414FA339
+    (Crc32.string "The quick brown fox jumps over the lazy dog");
+  Alcotest.(check string) "hex formatting" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"))
+
+let test_crc32_incremental () =
+  let s = "The quick brown fox jumps over the lazy dog" in
+  let chunked =
+    Crc32.value
+      (Crc32.update (Crc32.update (Crc32.update Crc32.init ~pos:0 ~len:10 s) ~pos:10 ~len:20 s)
+         ~pos:30 ~len:(String.length s - 30) s)
+  in
+  Alcotest.(check int) "chunked = one-shot" (Crc32.string s) chunked;
+  Alcotest.(check int) "bytes = string" (Crc32.string s)
+    (Crc32.bytes (Bytes.of_string s));
+  Alcotest.(check int) "bytes slice"
+    (Crc32.string (String.sub s 4 9))
+    (Crc32.bytes ~pos:4 ~len:9 (Bytes.of_string s));
+  Alcotest.(check int) "value init = 0" 0 (Crc32.value Crc32.init)
+
+let test_crc32_slice_bounds () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | (_ : Crc32.t) -> false
+  in
+  Alcotest.(check bool) "pos past end" true
+    (raises (fun () -> Crc32.update Crc32.init ~pos:5 ~len:1 "abc"));
+  Alcotest.(check bool) "negative len" true
+    (raises (fun () -> Crc32.update Crc32.init ~pos:0 ~len:(-1) "abc"))
+
+let prop_crc32_append_homomorphism =
+  QCheck.Test.make ~name:"crc32 chunking is order-preserving" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 64)) (string_of_size Gen.(0 -- 64)))
+    (fun (a, b) ->
+      Crc32.string (a ^ b) = Crc32.value (Crc32.update (Crc32.update Crc32.init a) b))
+
 let suite =
   [
+    ( "util.crc32",
+      [
+        Alcotest.test_case "known answers" `Quick test_crc32_known_answers;
+        Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+        Alcotest.test_case "slice bounds" `Quick test_crc32_slice_bounds;
+        qtest prop_crc32_append_homomorphism;
+      ] );
     ( "util.json",
       [
         Alcotest.test_case "scalars" `Quick test_json_scalars;
