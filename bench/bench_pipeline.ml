@@ -1,0 +1,244 @@
+(* Multicore pipeline benchmark.
+
+   Measures the three parallelized phases — distance-matrix build,
+   whole-trace detection, end-to-end signature generation — at several
+   job counts on a deterministic synthetic workload, verifies that every
+   parallel result is identical to the sequential one (exact float
+   equality on matrices, byte equality on serialized signatures, equal
+   detection bitmaps and metrics), and writes BENCH_pipeline.json.
+
+   Exits non-zero if any parallel output diverges from jobs=1, so CI can
+   run it as a correctness gate as well as a perf probe.
+
+   Usage: bench_pipeline.exe [--quick] [--jobs N]
+     --quick    tiny workload and sample sizes (CI smoke)
+     --jobs N   highest job count to bench (default 4); the benched set
+                is 1, 2, 4, ... doubling up to N. *)
+
+module Json = Leakdetect_util.Json
+module Prng = Leakdetect_util.Prng
+module Sample = Leakdetect_util.Sample
+module Workload = Leakdetect_android.Workload
+module Pipeline = Leakdetect_core.Pipeline
+module Distance = Leakdetect_core.Distance
+module Siggen = Leakdetect_core.Siggen
+module Detector = Leakdetect_core.Detector
+module Signature_io = Leakdetect_core.Signature_io
+module Metrics = Leakdetect_core.Metrics
+module Compressor = Leakdetect_compress.Compressor
+module Dist_matrix = Leakdetect_cluster.Dist_matrix
+module Pool = Leakdetect_parallel.Pool
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let max_jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then 4
+    else if Sys.argv.(i) = "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n >= 1 -> n
+      | _ -> failwith "bench_pipeline: --jobs expects a positive integer"
+    else find (i + 1)
+  in
+  find 0
+
+let job_counts =
+  let rec doubling j acc = if j >= max_jobs then List.rev (max_jobs :: acc) else doubling (2 * j) (j :: acc) in
+  doubling 1 []
+
+let scale = if quick then 0.02 else 0.25
+let matrix_ns = if quick then [ 40; 80 ] else [ 100; 300; 500 ]
+let e2e_ns = if quick then [ 40 ] else [ 100; 300; 500 ]
+
+let divergences = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr divergences;
+    Printf.printf "DIVERGENCE: %s\n%!" name
+  end
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let matrices_equal a b =
+  Dist_matrix.size a = Dist_matrix.size b
+  && begin
+    let n = Dist_matrix.size a in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Dist_matrix.get a i j <> Dist_matrix.get b i j then ok := false
+      done
+    done;
+    !ok
+  end
+
+let serialize_signatures sigs = String.concat "\n" (List.map Signature_io.to_line sigs)
+
+let dataset =
+  Printf.printf "workload: seed 42, scale %.2f...\n%!" scale;
+  let ds, s = time (fun () -> Workload.generate ~seed:42 ~scale ()) in
+  Printf.printf "generated %d packets in %.1fs (benching jobs = %s; recommended domains here: %d)\n%!"
+    (Array.length ds.Workload.records) s
+    (String.concat ", " (List.map string_of_int job_counts))
+    (Pool.recommended_jobs ());
+  ds
+
+let suspicious, normal = Workload.split dataset
+let all_packets = Workload.packets dataset
+
+let sections : (string * Json.t) list ref = ref []
+let record name v = sections := (name, v) :: !sections
+
+(* --- distance matrix ---------------------------------------------------- *)
+
+let bench_matrix () =
+  Printf.printf "\n-- distance matrix build --\n%!";
+  List.iter
+    (fun n ->
+      let sample = Sample.without_replacement (Prng.create 7) n suspicious in
+      let n = Array.length sample in
+      let reference = ref None in
+      let seq_seconds = ref nan in
+      let rows =
+        List.map
+          (fun jobs ->
+            let dist = Distance.create () in
+            let m, seconds =
+              Pool.with_pool jobs (fun pool ->
+                  time (fun () -> Distance.matrix ?pool dist sample))
+            in
+            (match !reference with
+            | None ->
+              reference := Some m;
+              seq_seconds := seconds
+            | Some r -> check (Printf.sprintf "matrix N=%d jobs=%d" n jobs) (matrices_equal r m));
+            let speedup = !seq_seconds /. seconds in
+            let st = Compressor.Cache.stats (Distance.ncd_cache dist) in
+            Printf.printf
+              "  N=%-4d jobs=%d  %7.3fs  speedup %4.2fx  (singleton %d hit / %d miss, pair %d hit / %d miss, frozen %d)\n%!"
+              n jobs seconds speedup st.Compressor.Cache.hits st.Compressor.Cache.misses
+              st.Compressor.Cache.pair_hits st.Compressor.Cache.pair_misses
+              st.Compressor.Cache.frozen_misses;
+            Json.Obj
+              [ ("jobs", Json.Int jobs); ("seconds", Json.Float seconds);
+                ("speedup_vs_jobs1", Json.Float speedup);
+                ("cache_hits", Json.Int st.Compressor.Cache.hits);
+                ("cache_misses", Json.Int st.Compressor.Cache.misses);
+                ("pair_hits", Json.Int st.Compressor.Cache.pair_hits);
+                ("pair_misses", Json.Int st.Compressor.Cache.pair_misses);
+                ("frozen_misses", Json.Int st.Compressor.Cache.frozen_misses) ])
+          job_counts
+      in
+      record (Printf.sprintf "matrix_n%d" n) (Json.Obj [ ("n", Json.Int n); ("runs", Json.List rows) ]))
+    matrix_ns
+
+(* --- whole-trace detection ---------------------------------------------- *)
+
+let bench_detection () =
+  Printf.printf "\n-- whole-trace detection (%d packets) --\n%!" (Array.length all_packets);
+  let sample_n = if quick then 40 else 300 in
+  let sample = Sample.without_replacement (Prng.create 7) sample_n suspicious in
+  let gen = Siggen.generate Siggen.default (Distance.create ()) sample in
+  let detector = Detector.create gen.Siggen.signatures in
+  Printf.printf "  signature set: %d signatures\n%!" (List.length gen.Siggen.signatures);
+  let reference = ref None in
+  let seq_seconds = ref nan in
+  let rows =
+    List.map
+      (fun jobs ->
+        let bitmap, seconds =
+          Pool.with_pool jobs (fun pool ->
+              time (fun () -> Detector.detect_bitmap ?pool detector all_packets))
+        in
+        (match !reference with
+        | None ->
+          reference := Some bitmap;
+          seq_seconds := seconds
+        | Some r -> check (Printf.sprintf "detection bitmap jobs=%d" jobs) (r = bitmap));
+        let speedup = !seq_seconds /. seconds in
+        let throughput = float_of_int (Array.length all_packets) /. seconds in
+        Printf.printf "  jobs=%d  %7.3fs  %9.0f packets/s  speedup %4.2fx\n%!" jobs seconds
+          throughput speedup;
+        Json.Obj
+          [ ("jobs", Json.Int jobs); ("seconds", Json.Float seconds);
+            ("packets_per_sec", Json.Float throughput);
+            ("speedup_vs_jobs1", Json.Float speedup) ])
+      job_counts
+  in
+  record "detection"
+    (Json.Obj
+       [ ("packets", Json.Int (Array.length all_packets));
+         ("signatures", Json.Int (List.length gen.Siggen.signatures));
+         ("runs", Json.List rows) ])
+
+(* --- end to end ---------------------------------------------------------- *)
+
+let bench_end_to_end () =
+  Printf.printf "\n-- end-to-end pipeline (sample -> cluster -> sign -> detect) --\n%!";
+  List.iter
+    (fun n ->
+      let reference = ref None in
+      let seq_seconds = ref nan in
+      let rows =
+        List.map
+          (fun jobs ->
+            let outcome, seconds =
+              Pool.with_pool jobs (fun pool ->
+                  time (fun () ->
+                      Pipeline.run ?pool ~rng:(Prng.create (7 + n)) ~n ~suspicious ~normal ()))
+            in
+            let sigs = serialize_signatures outcome.Pipeline.signatures in
+            (match !reference with
+            | None ->
+              reference := Some (sigs, outcome.Pipeline.metrics);
+              seq_seconds := seconds
+            | Some (ref_sigs, ref_metrics) ->
+              check (Printf.sprintf "e2e signatures N=%d jobs=%d" n jobs) (ref_sigs = sigs);
+              check
+                (Printf.sprintf "e2e metrics N=%d jobs=%d" n jobs)
+                (compare ref_metrics outcome.Pipeline.metrics = 0));
+            let speedup = !seq_seconds /. seconds in
+            Printf.printf "  N=%-4d jobs=%d  %7.3fs  speedup %4.2fx  (%d signatures, TP %.1f%%)\n%!"
+              n jobs seconds speedup
+              (List.length outcome.Pipeline.signatures)
+              (100. *. outcome.Pipeline.metrics.Metrics.true_positive);
+            Json.Obj
+              [ ("jobs", Json.Int jobs); ("seconds", Json.Float seconds);
+                ("speedup_vs_jobs1", Json.Float speedup);
+                ("signatures", Json.Int (List.length outcome.Pipeline.signatures));
+                ("tp", Json.Float outcome.Pipeline.metrics.Metrics.true_positive);
+                ("fp", Json.Float outcome.Pipeline.metrics.Metrics.false_positive) ])
+          job_counts
+      in
+      record (Printf.sprintf "end_to_end_n%d" n)
+        (Json.Obj [ ("n", Json.Int n); ("runs", Json.List rows) ]))
+    e2e_ns
+
+let () =
+  bench_matrix ();
+  bench_detection ();
+  bench_end_to_end ();
+  let doc =
+    Json.Obj
+      (("quick", Json.Bool quick)
+      :: ("scale", Json.Float scale)
+      :: ("job_counts", Json.List (List.map (fun j -> Json.Int j) job_counts))
+      :: ("recommended_domains", Json.Int (Pool.recommended_jobs ()))
+      :: ("total_packets", Json.Int (Array.length all_packets))
+      :: ("divergences", Json.Int !divergences)
+      :: List.rev !sections)
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_pipeline.json\n";
+  if !divergences > 0 then begin
+    Printf.printf "FAILED: %d parallel/sequential divergence(s)\n" !divergences;
+    exit 1
+  end
+  else Printf.printf "all parallel outputs identical to sequential\n"

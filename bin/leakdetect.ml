@@ -36,6 +36,7 @@ module Signature_client = Leakdetect_monitor.Signature_client
 module Signature_server = Leakdetect_monitor.Signature_server
 module Store = Leakdetect_store.Store
 module Wal = Leakdetect_store.Wal
+module Pool = Leakdetect_parallel.Pool
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -65,6 +66,15 @@ let trace_t =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Read packets from a trace file instead of generating a workload.")
+
+let jobs_t =
+  Arg.(value
+      & opt int (Pool.recommended_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel phases (distance matrix, whole-trace \
+             detection).  1 forces the sequential path; results are identical for \
+             every value.  Default: the machine's recommended domain count.")
 
 let sniff_binary path =
   let ic = open_in_bin path in
@@ -279,7 +289,7 @@ let config_of ~compressor ~linkage ~cut =
 (* --- sign --- *)
 
 let sign_cmd =
-  let run seed scale trace n compressor linkage cut output =
+  let run seed scale trace n compressor linkage cut jobs output =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, _ = split_records records in
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
@@ -290,7 +300,9 @@ let sign_cmd =
       Distance.create ~components:config.Pipeline.components
         ~compressor:config.Pipeline.compressor ()
     in
-    let result = Siggen.generate config.Pipeline.siggen dist sample in
+    let result =
+      Pool.with_pool jobs (fun pool -> Siggen.generate ?pool config.Pipeline.siggen dist sample)
+    in
     Signature_io.save output result.Siggen.signatures;
     Printf.printf "sampled %d suspicious packets -> %d clusters, %d signatures (%d rejected)\n"
       (Array.length sample)
@@ -305,12 +317,13 @@ let sign_cmd =
   in
   Cmd.v
     (Cmd.info "sign" ~doc:"Cluster suspicious packets and generate signatures.")
-    Term.(const run $ seed_t $ scale_t $ trace_t $ n_t $ compressor_t $ linkage_t $ cut_t $ output)
+    Term.(const run $ seed_t $ scale_t $ trace_t $ n_t $ compressor_t $ linkage_t $ cut_t
+          $ jobs_t $ output)
 
 (* --- cluster --- *)
 
 let cluster_cmd =
-  let run () seed scale trace n compressor linkage cut newick =
+  let run () seed scale trace n compressor linkage cut jobs newick =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, _ = split_records records in
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
@@ -321,7 +334,7 @@ let cluster_cmd =
       Distance.create ~components:config.Pipeline.components
         ~compressor:config.Pipeline.compressor ()
     in
-    let matrix = Distance.matrix dist sample in
+    let matrix = Pool.with_pool jobs (fun pool -> Distance.matrix ?pool dist sample) in
     match Leakdetect_cluster.Agglomerative.cluster ~linkage matrix with
     | None -> exit_err "empty sample"
     | Some tree ->
@@ -376,27 +389,31 @@ let cluster_cmd =
     (Cmd.info "cluster"
        ~doc:"Cluster a sample of suspicious packets and report the dendrogram.")
     Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ n_small $ compressor_t
-          $ linkage_t $ cut_t $ newick)
+          $ linkage_t $ cut_t $ jobs_t $ newick)
 
 (* --- detect --- *)
 
 let detect_cmd =
-  let run seed scale trace sig_file verbose =
+  let run seed scale trace sig_file jobs verbose =
     let records = load_records ~trace ~seed ~scale in
     let signatures = load_signatures sig_file in
     let detector = Detector.create signatures in
-    let detected = ref 0 in
-    Array.iter
-      (fun r ->
-        match Detector.first_match detector r.Trace.packet with
-        | Some s ->
-          incr detected;
-          if verbose then
-            Printf.printf "app %d -> %s matched signature #%d\n" r.Trace.app_id
-              r.Trace.packet.Packet.dst.Packet.host s.Signature.id
-        | None -> ())
-      records;
-    Printf.printf "%d of %d packets matched %d signatures\n" !detected
+    let packets = Array.map (fun r -> r.Trace.packet) records in
+    let bitmap =
+      Pool.with_pool jobs (fun pool -> Detector.detect_bitmap ?pool detector packets)
+    in
+    let detected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bitmap in
+    if verbose then
+      Array.iteri
+        (fun i r ->
+          if bitmap.(i) then
+            match Detector.first_match detector r.Trace.packet with
+            | Some s ->
+              Printf.printf "app %d -> %s matched signature #%d\n" r.Trace.app_id
+                r.Trace.packet.Packet.dst.Packet.host s.Signature.id
+            | None -> ())
+        records;
+    Printf.printf "%d of %d packets matched %d signatures\n" detected
       (Array.length records) (List.length signatures)
   in
   let sig_file =
@@ -409,12 +426,12 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Apply a signature file to a trace.")
-    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ verbose)
+    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ jobs_t $ verbose)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run () seed scale trace ns compressor linkage cut bayes =
+  let run () seed scale trace ns compressor linkage cut jobs bayes =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, normal = split_records records in
     Printf.printf "dataset: %d suspicious, %d normal%s\n\n" (Array.length suspicious)
@@ -422,20 +439,23 @@ let evaluate_cmd =
       (if bayes then " (probabilistic signatures)" else "");
     let config = config_of ~compressor ~linkage ~cut in
     let rows =
-      List.map
-        (fun n ->
-          let rng = Prng.create (seed + n) in
-          if bayes then begin
-            let o = Leakdetect_core.Bayes.run ~config ~rng ~n ~suspicious ~normal () in
-            Metrics.to_row o.Leakdetect_core.Bayes.metrics
-            @ [ string_of_int o.Leakdetect_core.Bayes.n_tokens ^ " tokens" ]
-          end
-          else begin
-            let o = Pipeline.run ~config ~rng ~n ~suspicious ~normal () in
-            Metrics.to_row o.Pipeline.metrics
-            @ [ string_of_int (List.length o.Pipeline.signatures) ^ " sigs" ]
-          end)
-        ns
+      Pool.with_pool jobs (fun pool ->
+          List.map
+            (fun n ->
+              let rng = Prng.create (seed + n) in
+              if bayes then begin
+                let o =
+                  Leakdetect_core.Bayes.run ~config ?pool ~rng ~n ~suspicious ~normal ()
+                in
+                Metrics.to_row o.Leakdetect_core.Bayes.metrics
+                @ [ string_of_int o.Leakdetect_core.Bayes.n_tokens ^ " tokens" ]
+              end
+              else begin
+                let o = Pipeline.run ~config ?pool ~rng ~n ~suspicious ~normal () in
+                Metrics.to_row o.Pipeline.metrics
+                @ [ string_of_int (List.length o.Pipeline.signatures) ^ " sigs" ]
+              end)
+            ns)
     in
     print_string
       (Table.render
@@ -457,7 +477,8 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate"
        ~doc:"Run the full pipeline and report the paper's TP/FN/FP metrics.")
-    Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ ns $ compressor_t $ linkage_t $ cut_t $ bayes)
+    Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ ns $ compressor_t
+          $ linkage_t $ cut_t $ jobs_t $ bayes)
 
 (* --- monitor --- *)
 

@@ -19,13 +19,15 @@ let set t i j v =
   if i = j then invalid_arg "Dist_matrix.set: diagonal is fixed at zero";
   t.cells.(index t i j) <- v
 
-let build n f =
+let build ?pool n f =
   let t = create n in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      set t i j (f i j)
-    done
-  done;
+  (* Row i owns the contiguous condensed-index range for j > i, so rows can
+     be filled from different domains without overlap.  Chunk 1: row cost
+     shrinks linearly with i, and the atomic hand-off rebalances that. *)
+  Leakdetect_parallel.Pool.parallel_for ~pool ~chunk:1 n (fun i ->
+      for j = i + 1 to n - 1 do
+        set t i j (f i j)
+      done);
   t
 
 let fold f acc t =

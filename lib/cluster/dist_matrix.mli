@@ -7,8 +7,12 @@ type t
 val create : int -> t
 (** [create n] is the all-zero matrix over [n] items. *)
 
-val build : int -> (int -> int -> float) -> t
-(** [build n f] evaluates [f i j] once per unordered pair [i < j]. *)
+val build : ?pool:Leakdetect_parallel.Pool.t -> int -> (int -> int -> float) -> t
+(** [build n f] evaluates [f i j] once per unordered pair [i < j].  With
+    [?pool], rows are fanned out across domains — [f] must then be safe to
+    call concurrently (pure, or reading only frozen state); every cell is
+    still computed exactly once and lands in the same slot, so the result
+    is identical to the sequential build. *)
 
 val size : t -> int
 val get : t -> int -> int -> float

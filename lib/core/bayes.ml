@@ -103,7 +103,7 @@ let train ?(target_fp = 0.005) ~tokens ~suspicious ~benign () =
 
 type outcome = { signature_ : t; n_tokens : int; metrics : Metrics.t }
 
-let run ?(config = Pipeline.default_config) ?(target_fp = 0.005)
+let run ?(config = Pipeline.default_config) ?pool ?(target_fp = 0.005)
     ?(benign_train = 2000) ~rng ~n ~suspicious ~normal () =
   let sample = Sample.without_replacement rng n suspicious in
   let n = Array.length sample in
@@ -113,7 +113,7 @@ let run ?(config = Pipeline.default_config) ?(target_fp = 0.005)
       ~content_metric:config.Pipeline.content_metric
       ?registry:config.Pipeline.registry ()
   in
-  let gen = Siggen.generate config.Pipeline.siggen dist sample in
+  let gen = Siggen.generate ?pool config.Pipeline.siggen dist sample in
   let clusters =
     List.map
       (fun members -> List.map (fun i -> sample.(i)) members)

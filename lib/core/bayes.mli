@@ -60,6 +60,7 @@ type outcome = {
 
 val run :
   ?config:Pipeline.config ->
+  ?pool:Leakdetect_parallel.Pool.t ->
   ?target_fp:float ->
   ?benign_train:int ->
   rng:Leakdetect_util.Prng.t ->

@@ -57,36 +57,67 @@ let entry_matches entry matched content =
   Array.for_all (fun id -> matched.(id)) entry.token_ids
   && ((not entry.ordered) || Signature.matches_content entry.compiled content)
 
+(* Both lookup flavours run the automaton once over the content and then
+   test entries against the matched set; [matched] may be a reused
+   per-domain scratch buffer. *)
+let first_entry t matched content =
+  let n = Array.length t.entries in
+  let rec loop i =
+    if i = n then None
+    else if entry_matches t.entries.(i) matched content then Some t.entries.(i).signature
+    else loop (i + 1)
+  in
+  loop 0
+
 let first_match_content t content =
   match t.automaton with
   | None -> None
   | Some automaton ->
-    let matched = Aho_corasick.matched_set automaton content in
-    let n = Array.length t.entries in
-    let rec loop i =
-      if i = n then None
-      else if entry_matches t.entries.(i) matched content then
-        Some t.entries.(i).signature
-      else loop (i + 1)
-    in
-    loop 0
+    first_entry t (Aho_corasick.matched_set automaton content) content
 
-let first_match t packet = first_match_content t (Packet.content_string packet)
-
-let all_matches t packet =
+let all_matches_content t content =
   match t.automaton with
   | None -> []
   | Some automaton ->
-    let content = Packet.content_string packet in
     let matched = Aho_corasick.matched_set automaton content in
-    Array.to_list t.entries
-    |> List.filter_map (fun e ->
-           if entry_matches e matched content then Some e.signature else None)
+    let acc = ref [] in
+    for i = Array.length t.entries - 1 downto 0 do
+      let e = t.entries.(i) in
+      if entry_matches e matched content then acc := e.signature :: !acc
+    done;
+    !acc
+
+let first_match t packet = first_match_content t (Packet.content_string packet)
+let all_matches t packet = all_matches_content t (Packet.content_string packet)
 
 let detects t packet = Option.is_some (first_match t packet)
 
-let detect_bitmap t packets =
-  Array.map (fun p -> Option.is_some (first_match t p)) packets
+module Pool = Leakdetect_parallel.Pool
 
-let count_detected t packets =
-  Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
+let detect_bitmap ?pool t packets =
+  match t.automaton with
+  | None -> Array.make (Array.length packets) false
+  | Some automaton ->
+    let n_patterns = Aho_corasick.pattern_count automaton in
+    let out = Array.make (Array.length packets) false in
+    (* The automaton and compiled matchers are immutable after [create];
+       each domain brings its own matched-set buffer, so the only shared
+       writes are to index-owned slots of [out]. *)
+    Pool.parallel_for_with ~pool
+      ~init:(fun () -> Array.make n_patterns false)
+      (Array.length packets)
+      (fun scratch i ->
+        let content = Packet.content_string packets.(i) in
+        Aho_corasick.matched_set_into automaton scratch content;
+        out.(i) <- Option.is_some (first_entry t scratch content));
+    out
+
+let count_detected ?pool t packets =
+  match pool with
+  | None ->
+    Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
+  | Some _ ->
+    Array.fold_left
+      (fun acc hit -> if hit then acc + 1 else acc)
+      0
+      (detect_bitmap ?pool t packets)

@@ -13,9 +13,22 @@ val first_match : t -> Leakdetect_http.Packet.t -> Signature.t option
 
 val all_matches : t -> Leakdetect_http.Packet.t -> Signature.t list
 
+val first_match_content : t -> string -> Signature.t option
+(** {!first_match} over an already-materialized content string; both
+    packet-level entry points are thin wrappers that materialize the
+    content once and delegate here. *)
+
+val all_matches_content : t -> string -> Signature.t list
+
 val detects : t -> Leakdetect_http.Packet.t -> bool
 
-val count_detected : t -> Leakdetect_http.Packet.t array -> int
+val count_detected :
+  ?pool:Leakdetect_parallel.Pool.t -> t -> Leakdetect_http.Packet.t array -> int
 
-val detect_bitmap : t -> Leakdetect_http.Packet.t array -> bool array
-(** Per-packet detection flags, aligned with the input array. *)
+val detect_bitmap :
+  ?pool:Leakdetect_parallel.Pool.t -> t -> Leakdetect_http.Packet.t array -> bool array
+(** Per-packet detection flags, aligned with the input array.  With
+    [?pool], packets are scanned from several domains: the Aho-Corasick
+    automaton is shared read-only and every domain reuses a private
+    matched-set scratch buffer, so the bitmap is identical to the
+    sequential scan. *)

@@ -89,9 +89,71 @@ let d_header t (px : Packet.t) (py : Packet.t) =
 
 let d_pkt t px py = d_dst t px py +. d_header t px py
 
-let matrix t packets =
-  Leakdetect_cluster.Dist_matrix.build (Array.length packets) (fun i j ->
-      d_pkt t packets.(i) packets.(j))
+module Pool = Leakdetect_parallel.Pool
+
+let ncd_cache t = t.cache
+let trigram_cache t = t.trigram_cache
+
+(* Distinct content strings the enabled components will compare. *)
+let content_strings t packets =
+  let tbl = Hashtbl.create 256 in
+  let add s = if not (Hashtbl.mem tbl s) then Hashtbl.add tbl s () in
+  Array.iter
+    (fun (p : Packet.t) ->
+      let c = p.Packet.content in
+      if t.comps.use_rline then add c.Packet.request_line;
+      if t.comps.use_cookie then add c.Packet.cookie;
+      if t.comps.use_body then add c.Packet.body)
+    packets;
+  Array.of_seq (Hashtbl.to_seq_keys tbl)
+
+(* Sealed read-only warm pass: compute every per-string quantity the pair
+   loop will look up, insert it while still single-domain, then freeze the
+   caches so the loop can share them across domains. *)
+let prewarm ~pool t packets =
+  let strings = content_strings t packets in
+  (match t.metric with
+  | Ncd ->
+    let algo = Compressor.Cache.algorithm t.cache in
+    let lens = Pool.parallel_map_array ~pool (Compressor.length_bits algo) strings in
+    Array.iteri (fun i s -> Compressor.Cache.preload t.cache s lens.(i)) strings
+  | Trigram ->
+    Array.iter (Leakdetect_text.Trigram.Cache.preload t.trigram_cache) strings);
+  Compressor.Cache.freeze t.cache;
+  Leakdetect_text.Trigram.Cache.freeze t.trigram_cache
+
+let matrix ?pool t packets =
+  let n = Array.length packets in
+  let parallel = match pool with Some p -> Pool.size p > 1 | None -> false in
+  if not parallel then
+    Leakdetect_cluster.Dist_matrix.build n (fun i j -> d_pkt t packets.(i) packets.(j))
+  else begin
+    let was_frozen = Compressor.Cache.frozen t.cache in
+    if not was_frozen then prewarm ~pool t packets;
+    Fun.protect
+      ~finally:(fun () ->
+        if not was_frozen then begin
+          Compressor.Cache.thaw t.cache;
+          Leakdetect_text.Trigram.Cache.thaw t.trigram_cache
+        end)
+      (fun () ->
+        let m = Leakdetect_cluster.Dist_matrix.create n in
+        (* Each domain compares through a private shadow cache layered over
+           the frozen shared one, so pair-level C(xy) results are still
+           deduplicated within a domain.  Row i owns a contiguous condensed
+           range, so every cell is written exactly once. *)
+        Pool.parallel_for_with ~pool ~chunk:1
+          ~init:(fun () ->
+            { t with
+              cache = Compressor.Cache.shadow t.cache;
+              trigram_cache = Leakdetect_text.Trigram.Cache.shadow t.trigram_cache })
+          n
+          (fun local i ->
+            for j = i + 1 to n - 1 do
+              Leakdetect_cluster.Dist_matrix.set m i j (d_pkt local packets.(i) packets.(j))
+            done);
+        m)
+  end
 
 let max_possible t =
   let b flag = if flag then 1. else 0. in

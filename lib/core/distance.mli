@@ -77,8 +77,23 @@ val d_header : t -> Leakdetect_http.Packet.t -> Leakdetect_http.Packet.t -> floa
 val d_pkt : t -> Leakdetect_http.Packet.t -> Leakdetect_http.Packet.t -> float
 
 val matrix :
+  ?pool:Leakdetect_parallel.Pool.t ->
   t -> Leakdetect_http.Packet.t array -> Leakdetect_cluster.Dist_matrix.t
-(** Pairwise [d_pkt] over the sample — the input to clustering. *)
+(** Pairwise [d_pkt] over the sample — the input to clustering.
+
+    With [?pool] (size > 1) the O(N^2) pair loop fans out across domains.
+    Domain safety follows a two-phase protocol: every per-string compressed
+    length (or trigram profile) is computed in a sealed read-only prewarm
+    pass, both caches are frozen, the pair loop runs with lookups only,
+    and the caches are thawed afterwards.  Pair-concatenation lengths are
+    pair-specific work and are computed inside the loop either way.  The
+    resulting matrix is bit-identical to the sequential build. *)
+
+val ncd_cache : t -> Leakdetect_compress.Compressor.Cache.t
+(** The NCD cache backing this context — exposed for cache statistics in
+    benchmarks and for tests of the freezing protocol. *)
+
+val trigram_cache : t -> Leakdetect_text.Trigram.Cache.t
 
 val max_possible : t -> float
 (** Upper bound of [d_pkt] under the enabled components (each enabled

@@ -31,17 +31,17 @@ type outcome = {
   metrics : Metrics.t;
 }
 
-let run ?(config = default_config) ~rng ~n ~suspicious ~normal () =
+let run ?(config = default_config) ?pool ~rng ~n ~suspicious ~normal () =
   let sample = Sample.without_replacement rng n suspicious in
   let n = Array.length sample in
   let dist =
     Distance.create ~components:config.components ~compressor:config.compressor
       ~content_metric:config.content_metric ?registry:config.registry ()
   in
-  let gen = Siggen.generate config.siggen dist sample in
+  let gen = Siggen.generate ?pool config.siggen dist sample in
   let detector = Detector.create gen.Siggen.signatures in
-  let sensitive_detected = Detector.count_detected detector suspicious in
-  let normal_detected = Detector.count_detected detector normal in
+  let sensitive_detected = Detector.count_detected ?pool detector suspicious in
+  let normal_detected = Detector.count_detected ?pool detector normal in
   let metrics =
     Metrics.compute
       {
@@ -62,5 +62,5 @@ let run ?(config = default_config) ~rng ~n ~suspicious ~normal () =
     metrics;
   }
 
-let sweep ?(config = default_config) ~rng ~ns ~suspicious ~normal () =
-  List.map (fun n -> run ~config ~rng:(Prng.split rng) ~n ~suspicious ~normal ()) ns
+let sweep ?(config = default_config) ?pool ~rng ~ns ~suspicious ~normal () =
+  List.map (fun n -> run ~config ?pool ~rng:(Prng.split rng) ~n ~suspicious ~normal ()) ns

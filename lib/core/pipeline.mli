@@ -24,6 +24,7 @@ type outcome = {
 
 val run :
   ?config:config ->
+  ?pool:Leakdetect_parallel.Pool.t ->
   rng:Leakdetect_util.Prng.t ->
   n:int ->
   suspicious:Leakdetect_http.Packet.t array ->
@@ -34,10 +35,16 @@ val run :
     packets, generates signatures and evaluates them on the whole dataset
     (both groups).  The groups are the ground-truth split the paper prepared
     manually (Sec. V-A); obtain them from {!Payload_check.split} or from
-    trace labels. *)
+    trace labels.
+
+    [?pool] parallelizes the two hot phases — the NCD distance matrix and
+    whole-trace detection — over its domains.  Sampling, clustering and
+    signature extraction are unchanged and the outcome is bit-identical
+    for every pool size. *)
 
 val sweep :
   ?config:config ->
+  ?pool:Leakdetect_parallel.Pool.t ->
   rng:Leakdetect_util.Prng.t ->
   ns:int list ->
   suspicious:Leakdetect_http.Packet.t array ->
@@ -45,4 +52,4 @@ val sweep :
   unit ->
   outcome list
 (** The Figure 4 experiment: one {!run} per N, each on a fresh sample drawn
-    from a split of the given generator. *)
+    from a split of the given generator.  One pool serves every run. *)

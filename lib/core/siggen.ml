@@ -44,11 +44,11 @@ let rec internal_subtrees = function
   | Dendrogram.Node { left; right; _ } as node ->
     (node :: internal_subtrees left) @ internal_subtrees right
 
-let generate config dist sample =
+let generate ?pool config dist sample =
   if Array.length sample = 0 then
     { signatures = []; dendrogram = None; clusters = []; rejected = 0 }
   else begin
-    let matrix = Distance.matrix dist sample in
+    let matrix = Distance.matrix ?pool dist sample in
     let dendrogram = Agglomerative.cluster ~linkage:config.linkage matrix in
     let forest =
       match dendrogram with

@@ -31,9 +31,12 @@ type result = {
 }
 
 val generate :
+  ?pool:Leakdetect_parallel.Pool.t ->
   config -> Distance.t -> Leakdetect_http.Packet.t array -> result
 (** [generate config dist sample].  Signature ids number accepted clusters
-    from 0 in cut order. *)
+    from 0 in cut order.  [?pool] parallelizes the distance matrix (see
+    {!Distance.matrix}); clustering itself stays sequential, so the result
+    is identical for every pool size. *)
 
 val cut_threshold_value : config -> Distance.t -> float
 (** The concrete threshold [Auto] resolves to (exposed for reporting). *)

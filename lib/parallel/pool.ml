@@ -1,0 +1,215 @@
+(* Persistent domain pool.
+
+   Worker domains block on [work_cond] between jobs.  A job is an
+   immutable record holding the iteration space and two atomic counters:
+   [next] hands out chunk indices, [completed] counts chunks that have been
+   executed (or skipped after a failure).  Every participant — the workers
+   and the submitting domain — runs the same claim loop, so a 1-worker
+   pool still overlaps the caller with one domain and a stale worker that
+   wakes up late finds the counter exhausted and goes straight back to
+   sleep.  Determinism comes from ownership, not scheduling: chunk
+   boundaries depend only on [n] and the chunk size, and the loop body may
+   only write slots owned by its index. *)
+
+type job = {
+  n : int;
+  chunk : int;
+  n_chunks : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  failed : bool Atomic.t;
+  exn_slot : (exn * Printexc.raw_backtrace) option Atomic.t;
+  (* Called at most once per participating domain, on its first claimed
+     chunk; returns the range runner closed over that domain's scratch. *)
+  make_body : unit -> int -> int -> unit;
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  work_cond : Condition.t;
+  done_cond : Condition.t;
+  mutable current : job option;
+  mutable generation : int;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+  busy : bool Atomic.t;  (* a submission is in flight *)
+  mutable closed : bool;
+}
+
+let drain job =
+  let body = ref None in
+  let rec loop () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.n_chunks then begin
+      if not (Atomic.get job.failed) then begin
+        (try
+           let run =
+             match !body with
+             | Some f -> f
+             | None ->
+               let f = job.make_body () in
+               body := Some f;
+               f
+           in
+           run (c * job.chunk) (min job.n ((c + 1) * job.chunk))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           (* First failure wins; later chunks are claimed but skipped. *)
+           if Atomic.compare_and_set job.exn_slot None (Some (e, bt)) then ();
+           Atomic.set job.failed true);
+      end;
+      ignore (Atomic.fetch_and_add job.completed 1);
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop t =
+  let my_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while t.generation = !my_gen && not t.closing do
+      Condition.wait t.work_cond t.lock
+    done;
+    if t.closing then begin
+      running := false;
+      Mutex.unlock t.lock
+    end
+    else begin
+      my_gen := t.generation;
+      let job = t.current in
+      Mutex.unlock t.lock;
+      match job with
+      | None -> ()
+      | Some job ->
+        drain job;
+        Mutex.lock t.lock;
+        Condition.broadcast t.done_cond;
+        Mutex.unlock t.lock
+    end
+  done
+
+let create jobs =
+  if jobs > 1024 then invalid_arg "Pool.create: more than 1024 jobs";
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      current = None;
+      generation = 0;
+      closing = false;
+      workers = [||];
+      busy = Atomic.make false;
+      closed = false;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.jobs
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Mutex.lock t.lock;
+    t.closing <- true;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let default_chunk ~jobs n =
+  (* Small enough that the atomic counter load-balances uneven bodies
+     (distance-matrix rows shrink linearly), large enough to amortize the
+     fetch-and-add. *)
+  max 1 (min 1024 (n / (8 * jobs)))
+
+let sequential ~init n f =
+  if n > 0 then begin
+    let scratch = init () in
+    for i = 0 to n - 1 do
+      f scratch i
+    done
+  end
+
+let run_job t ~chunk ~init n f =
+  if t.closed then invalid_arg "Pool: used after shutdown";
+  let chunk = match chunk with Some c -> max 1 c | None -> default_chunk ~jobs:t.jobs n in
+  let n_chunks = (n + chunk - 1) / chunk in
+  if n_chunks <= 1 || t.jobs = 1 then sequential ~init n f
+  else begin
+    if not (Atomic.compare_and_set t.busy false true) then
+      invalid_arg "Pool: concurrent or nested job submission";
+    let job =
+      {
+        n;
+        chunk;
+        n_chunks;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        failed = Atomic.make false;
+        exn_slot = Atomic.make None;
+        make_body =
+          (fun () ->
+            let scratch = init () in
+            fun lo hi ->
+              for i = lo to hi - 1 do
+                f scratch i
+              done);
+      }
+    in
+    Mutex.lock t.lock;
+    t.current <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.lock;
+    (* The caller is a participant too. *)
+    drain job;
+    Mutex.lock t.lock;
+    while Atomic.get job.completed < job.n_chunks do
+      Condition.wait t.done_cond t.lock
+    done;
+    t.current <- None;
+    Mutex.unlock t.lock;
+    Atomic.set t.busy false;
+    match Atomic.get job.exn_slot with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_for_with ~pool ?chunk ~init n f =
+  if n < 0 then invalid_arg "Pool.parallel_for_with: negative count";
+  match pool with
+  | None -> sequential ~init n f
+  | Some t -> run_job t ~chunk ~init n f
+
+let parallel_for ~pool ?chunk n f =
+  parallel_for_with ~pool ?chunk ~init:(fun () -> ()) n (fun () i -> f i)
+
+let parallel_init ~pool ?chunk n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    (* Slot 0 is already final: [f 0] evaluated once, sequentially, to seed
+       the array; the fan-out covers the rest. *)
+    parallel_for ~pool ?chunk (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let parallel_map_array ~pool ?chunk f a =
+  parallel_init ~pool ?chunk (Array.length a) (fun i -> f a.(i))
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let t = create jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))
+  end
+
+let recommended_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,68 @@
+(** Fixed-size domain pool for the embarrassingly parallel pipeline phases.
+
+    The pipeline's two hot loops — the O(N^2) NCD distance matrix and
+    whole-trace detection — are data-parallel over independent indices.
+    This pool fans such loops out over [jobs] OCaml 5 domains with a shared
+    {!Stdlib.Atomic} chunk counter.  Work is split into fixed contiguous
+    chunks decided purely by the iteration count, and every result is
+    written to a slot owned by its index, so output is bit-identical to the
+    sequential loop no matter how the scheduler interleaves domains.
+
+    All entry points take [~pool:(t option)]: [None] (or a pool of size 1)
+    runs the plain sequential loop on the calling domain, so callers thread
+    one optional value through and never branch themselves.
+
+    The pool is persistent: worker domains are spawned once at {!create}
+    and block on a condition variable between jobs, so per-call overhead is
+    a broadcast rather than [jobs] domain spawns.  Jobs must not be
+    submitted concurrently from several domains and must not nest (a worker
+    must not submit to its own pool); both are programming errors and raise
+    [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [jobs - 1] worker domains (the submitting domain
+    is always the [jobs]-th participant).  [jobs] is clamped below at 1; a
+    1-job pool runs everything sequentially on the caller.
+    @raise Invalid_argument when [jobs] exceeds 1024. *)
+
+val size : t -> int
+(** Number of participating domains, including the caller. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val with_pool : int -> (t option -> 'a) -> 'a
+(** [with_pool jobs f] runs [f (Some pool)] with a fresh pool — or
+    [f None] when [jobs <= 1], spawning nothing — and shuts the pool down
+    afterwards, exceptions included. *)
+
+val parallel_for : pool:t option -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for ~pool n f] runs [f i] for every [0 <= i < n], each index
+    exactly once.  With a real pool, indices are claimed in contiguous
+    chunks of [chunk] (default: [n / (8 * size)], clamped to [1, 1024]) via
+    an atomic counter.  [f] must be safe to call from any domain and must
+    only write state owned by its index.  The first exception raised by [f]
+    is re-raised on the caller after the loop drains. *)
+
+val parallel_for_with :
+  pool:t option -> ?chunk:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+(** [parallel_for_with ~pool ~init n f] is {!parallel_for} with per-domain
+    scratch: each participating domain calls [init ()] once, lazily, and
+    passes its private scratch to every [f] call it executes.  Sequential
+    fallback allocates exactly one scratch.  Used for reusable match
+    buffers in detection. *)
+
+val parallel_map_array : pool:t option -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array ~pool f a] is [Array.map f a] with the same
+    ordering guarantee: slot [i] holds [f a.(i)].  [f] runs once per
+    element; the result array is identical to the sequential map. *)
+
+val parallel_init : pool:t option -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init ~pool n f] is [Array.init n f] fanned out over the
+    pool; [f] must tolerate any evaluation order. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the CLI default for [--jobs]. *)

@@ -93,6 +93,12 @@ let iter_matches t text f =
       | outputs -> List.iter (fun id -> f id (i + 1)) outputs)
     text
 
+let matched_set_into t seen text =
+  if Array.length seen <> t.n_patterns then
+    invalid_arg "Aho_corasick.matched_set_into: buffer size mismatch";
+  Array.fill seen 0 (Array.length seen) false;
+  iter_matches t text (fun id _ -> seen.(id) <- true)
+
 let matched_set t text =
   let seen = Array.make t.n_patterns false in
   iter_matches t text (fun id _ -> seen.(id) <- true);

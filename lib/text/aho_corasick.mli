@@ -19,6 +19,14 @@ val matched_set : t -> string -> bool array
 (** [matched_set t text] has [true] at index [i] iff pattern [i] occurs in
     [text].  One pass over [text]. *)
 
+val matched_set_into : t -> bool array -> string -> unit
+(** [matched_set_into t buf text] is {!matched_set} writing into a caller
+    -owned buffer of length {!pattern_count} (cleared first).  The automaton
+    is immutable after {!build}, so one automaton may serve many domains as
+    long as each brings its own buffer — this is the per-domain scratch used
+    by parallel whole-trace detection.
+    @raise Invalid_argument on a buffer of the wrong length. *)
+
 val iter_matches : t -> string -> (int -> int -> unit) -> unit
 (** [iter_matches t text f] calls [f id end_pos] for every occurrence of
     every pattern, where [end_pos] is the index one past the occurrence. *)

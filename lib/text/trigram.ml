@@ -45,17 +45,48 @@ let cosine_distance x y =
   else Float.max 0. (Float.min 1. (1. -. cosine_similarity px py))
 
 module Cache = struct
-  type t = (string, profile) Hashtbl.t
+  type t = {
+    table : (string, profile) Hashtbl.t;
+    parent : t option;  (* frozen cache consulted read-only on misses *)
+    mutable frozen : bool;
+    frozen_misses : int Atomic.t;
+  }
 
-  let create () = Hashtbl.create 256
+  let create () =
+    { table = Hashtbl.create 256; parent = None; frozen = false;
+      frozen_misses = Atomic.make 0 }
+
+  let freeze t = t.frozen <- true
+  let thaw t = t.frozen <- false
+  let frozen t = t.frozen
+  let frozen_misses t = Atomic.get t.frozen_misses
+
+  let shadow parent =
+    if not parent.frozen then invalid_arg "Trigram.Cache.shadow: parent must be frozen";
+    { table = Hashtbl.create 64; parent = Some parent; frozen = false;
+      frozen_misses = Atomic.make 0 }
 
   let get t s =
-    match Hashtbl.find_opt t s with
+    match Hashtbl.find_opt t.table s with
     | Some p -> p
-    | None ->
-      let p = profile s in
-      Hashtbl.add t s p;
-      p
+    | None -> (
+      match t.parent with
+      | Some p when Hashtbl.mem p.table s -> Hashtbl.find p.table s
+      | _ when t.frozen ->
+        (* Read-only mode for cross-domain sharing: compute without
+           inserting. *)
+        Atomic.incr t.frozen_misses;
+        profile s
+      | _ ->
+        let p = profile s in
+        Hashtbl.add t.table s p;
+        p)
+
+  let preload t s =
+    if t.frozen then invalid_arg "Trigram.Cache.preload: cache is frozen";
+    if not (Hashtbl.mem t.table s) then Hashtbl.add t.table s (profile s)
+
+  let size t = Hashtbl.length t.table
 
   let distance t x y =
     let px = get t x and py = get t y in

@@ -26,10 +26,31 @@ val cosine_distance : string -> string -> float
 
 module Cache : sig
   (** Memoizes profiles per string, mirroring the NCD cache's role during
-      matrix construction. *)
+      matrix construction.  Shares the compressor cache's freezing
+      protocol: {!preload} or warm sequentially, {!freeze}, then read from
+      any number of domains; frozen misses compute a throwaway profile and
+      are counted. *)
 
   type t
 
   val create : unit -> t
   val distance : t -> string -> string -> float
+
+  val shadow : t -> t
+  (** Fresh unfrozen cache reading through to a frozen parent on misses;
+      one per domain in a parallel loop.  Never writes to the parent.
+      @raise Invalid_argument if the parent is not frozen. *)
+
+  val preload : t -> string -> unit
+  (** Compute and store the profile now (sequential warm phase).
+      @raise Invalid_argument when the cache is frozen. *)
+
+  val freeze : t -> unit
+  val thaw : t -> unit
+  val frozen : t -> bool
+
+  val frozen_misses : t -> int
+  (** Lookups that missed while frozen (each recomputed its profile). *)
+
+  val size : t -> int
 end

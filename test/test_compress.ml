@@ -191,9 +191,33 @@ let test_cache_stats () =
   ignore (Compressor.Cache.length_bits cache "abc");
   ignore (Compressor.Cache.length_bits cache "abc");
   ignore (Compressor.Cache.length_bits cache "def");
-  let hits, misses = Compressor.Cache.stats cache in
-  Alcotest.(check int) "hits" 1 hits;
-  Alcotest.(check int) "misses" 2 misses
+  let st = Compressor.Cache.stats cache in
+  Alcotest.(check int) "hits" 1 st.Compressor.Cache.hits;
+  Alcotest.(check int) "misses" 2 st.Compressor.Cache.misses
+
+let test_pair_cache_stats () =
+  let cache = Compressor.Cache.create Compressor.Lz77 in
+  let x = "GET /ad/sdk?imei=355021930123456" and y = "POST /track HTTP/1.1" in
+  ignore (Compressor.Cache.ncd cache x y);
+  ignore (Compressor.Cache.ncd cache y x);
+  (* order-insensitive: same canonical pair *)
+  ignore (Compressor.Cache.ncd cache x y);
+  let st = Compressor.Cache.stats cache in
+  Alcotest.(check int) "pair misses" 1 st.Compressor.Cache.pair_misses;
+  Alcotest.(check int) "pair hits" 2 st.Compressor.Cache.pair_hits;
+  Alcotest.(check int) "pair entries" 1 (Compressor.Cache.pair_size cache)
+
+let test_pair_cache_bounded () =
+  let cache = Compressor.Cache.create ~pair_capacity:2 Compressor.Lz77 in
+  let s i = Printf.sprintf "payload-%d-%s" i (String.make 10 'x') in
+  for i = 0 to 5 do
+    ignore (Compressor.Cache.ncd cache (s i) (s (i + 100)))
+  done;
+  Alcotest.(check int) "capacity respected" 2 (Compressor.Cache.pair_size cache);
+  (* Uncached pairs still produce correct, identical distances. *)
+  let d1 = Compressor.Cache.ncd cache (s 5) (s 105) in
+  let d2 = Compressor.Cache.ncd cache (s 5) (s 105) in
+  Alcotest.(check (float 0.)) "identical without caching" d1 d2
 
 let test_compressor_names () =
   List.iter
@@ -235,6 +259,8 @@ let suite =
         Alcotest.test_case "range and identity" `Quick test_ncd_range_and_identity;
         Alcotest.test_case "discrimination" `Quick test_ncd_discrimination;
         Alcotest.test_case "cache stats" `Quick test_cache_stats;
+        Alcotest.test_case "pair cache stats" `Quick test_pair_cache_stats;
+        Alcotest.test_case "pair cache bounded" `Quick test_pair_cache_bounded;
         Alcotest.test_case "algorithm names" `Quick test_compressor_names;
         qtest prop_ncd_bounds;
       ] );
