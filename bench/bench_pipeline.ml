@@ -28,6 +28,7 @@ module Metrics = Leakdetect_core.Metrics
 module Compressor = Leakdetect_compress.Compressor
 module Dist_matrix = Leakdetect_cluster.Dist_matrix
 module Pool = Leakdetect_parallel.Pool
+module Obs = Leakdetect_obs.Obs
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -142,7 +143,7 @@ let bench_detection () =
   Printf.printf "\n-- whole-trace detection (%d packets) --\n%!" (Array.length all_packets);
   let sample_n = if quick then 40 else 300 in
   let sample = Sample.without_replacement (Prng.create 7) sample_n suspicious in
-  let gen = Siggen.generate Siggen.default (Distance.create ()) sample in
+  let gen = Siggen.generate (Distance.create ()) sample in
   let detector = Detector.create gen.Siggen.signatures in
   Printf.printf "  signature set: %d signatures\n%!" (List.length gen.Siggen.signatures);
   let reference = ref None in
@@ -218,10 +219,42 @@ let bench_end_to_end () =
         (Json.Obj [ ("n", Json.Int n); ("runs", Json.List rows) ]))
     e2e_ns
 
+(* --- observability overhead ---------------------------------------------- *)
+
+let bench_obs_overhead () =
+  Printf.printf "\n-- observability overhead (noop vs active registry) --\n%!";
+  let n = if quick then 40 else 300 in
+  let run obs =
+    Pipeline.run
+      ~config:(Pipeline.Config.with_obs obs Pipeline.Config.default)
+      ~rng:(Prng.create (7 + n)) ~n ~suspicious ~normal ()
+  in
+  (* Warm-up so allocator state doesn't favour whichever variant runs second. *)
+  ignore (run Obs.noop);
+  let noop_outcome, noop_seconds = time (fun () -> run Obs.noop) in
+  let obs = Obs.create () in
+  let active_outcome, active_seconds = time (fun () -> run obs) in
+  check "obs-active signatures identical to noop"
+    (serialize_signatures noop_outcome.Pipeline.signatures
+    = serialize_signatures active_outcome.Pipeline.signatures);
+  check "obs-active metrics identical to noop"
+    (compare noop_outcome.Pipeline.metrics active_outcome.Pipeline.metrics = 0);
+  check "obs-active run recorded"
+    (Obs.Counter.value (Obs.counter obs "leakdetect_pipeline_runs_total") = 1);
+  let overhead_pct = 100. *. (active_seconds -. noop_seconds) /. noop_seconds in
+  Printf.printf "  N=%-4d noop %7.3fs  active %7.3fs  overhead %+.2f%%\n%!" n
+    noop_seconds active_seconds overhead_pct;
+  record "obs_overhead"
+    (Json.Obj
+       [ ("n", Json.Int n); ("noop_seconds", Json.Float noop_seconds);
+         ("active_seconds", Json.Float active_seconds);
+         ("overhead_pct", Json.Float overhead_pct) ])
+
 let () =
   bench_matrix ();
   bench_detection ();
   bench_end_to_end ();
+  bench_obs_overhead ();
   let doc =
     Json.Obj
       (("quick", Json.Bool quick)

@@ -50,7 +50,7 @@ let bench_one n =
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> failwith e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> failwith e
       in
       let (), append_s =
         time (fun () ->
@@ -62,7 +62,7 @@ let bench_one n =
       Store.close store;
       let recovered, replay_s =
         time (fun () ->
-            match Store.open_ ~dir with Ok v -> v | Error e -> failwith e)
+            match Store.open_ ~dir () with Ok v -> v | Error e -> failwith e)
       in
       let store', report = recovered in
       assert (report.Store.replayed = n);
@@ -72,7 +72,7 @@ let bench_one n =
       (* Recovery from the snapshot alone (empty log). *)
       let recovered2, snap_open_s =
         time (fun () ->
-            match Store.open_ ~dir with Ok v -> v | Error e -> failwith e)
+            match Store.open_ ~dir () with Ok v -> v | Error e -> failwith e)
       in
       let store'', report2 = recovered2 in
       assert (report2.Store.snapshot = Store.Loaded);

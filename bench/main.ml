@@ -634,7 +634,7 @@ let micro_benchmarks () =
   let dist = Distance.create () in
   let sample = Sample.without_replacement (Prng.create 3) 30 suspicious in
   let small_sample = Sample.without_replacement (Prng.create 3) 25 suspicious in
-  let gen = Siggen.generate Siggen.default (Distance.create ()) small_sample in
+  let gen = Siggen.generate (Distance.create ()) small_sample in
   let detector = Detector.create gen.Siggen.signatures in
   let tests =
     [

@@ -37,6 +37,10 @@ module Signature_server = Leakdetect_monitor.Signature_server
 module Store = Leakdetect_store.Store
 module Wal = Leakdetect_store.Wal
 module Pool = Leakdetect_parallel.Pool
+module Payload_check = Leakdetect_core.Payload_check
+module Request = Leakdetect_http.Request
+module Response = Leakdetect_http.Response
+module Obs = Leakdetect_obs.Obs
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -301,7 +305,8 @@ let sign_cmd =
         ~compressor:config.Pipeline.compressor ()
     in
     let result =
-      Pool.with_pool jobs (fun pool -> Siggen.generate ?pool config.Pipeline.siggen dist sample)
+      Pool.with_pool jobs (fun pool ->
+          Siggen.generate ~config:{ config with Pipeline.pool } dist sample)
     in
     Signature_io.save output result.Siggen.signatures;
     Printf.printf "sampled %d suspicious packets -> %d clusters, %d signatures (%d rejected)\n"
@@ -722,7 +727,7 @@ let chaos_cmd =
           let history_dir = Filename.concat state_root "history" in
           if Sys.file_exists history_dir then rm_rf history_dir;
           let store, _report =
-            match Store.open_ ~dir:history_dir with
+            match Store.open_ ~dir:history_dir () with
             | Ok x -> x
             | Error e -> exit_err "cannot open store %s: %s" history_dir e
           in
@@ -757,7 +762,7 @@ let chaos_cmd =
           (* Uninterrupted recovery must restore the exact final state and
              a byte-identical signature set. *)
           let recovered_sigs =
-            match Store.open_ ~dir:history_dir with
+            match Store.open_ ~dir:history_dir () with
             | Error e -> exit_err "clean recovery failed: %s" e
             | Ok (store', report) ->
               if report.Store.tail <> Wal.Clean then
@@ -811,7 +816,7 @@ let chaos_cmd =
             if Sys.file_exists crash_dir then rm_rf crash_dir;
             Sys.mkdir crash_dir 0o755;
             spit (Store.wal_path ~dir:crash_dir) damaged;
-            (match Store.open_ ~dir:crash_dir with
+            (match Store.open_ ~dir:crash_dir () with
             | Error e -> exit_err "trial %d: recovery failed: %s" trial e
             | Ok (store', _report) ->
               let recovered = Store.state store' in
@@ -843,12 +848,12 @@ let chaos_cmd =
             crash_points !exact !earlier;
 
           (* Compaction: snapshot + log reset must preserve the state. *)
-          match Store.open_ ~dir:history_dir with
+          match Store.open_ ~dir:history_dir () with
           | Error e -> exit_err "reopen for compaction failed: %s" e
           | Ok (store', _) ->
             Store.compact store';
             Store.close store';
-            (match Store.open_ ~dir:history_dir with
+            (match Store.open_ ~dir:history_dir () with
             | Error e -> exit_err "post-compaction recovery failed: %s" e
             | Ok (store'', report) ->
               if not (Store.state_equal (Store.state store'') final_state) then
@@ -938,7 +943,7 @@ let chaos_cmd =
 
 let store_cmd =
   let run () dir compact =
-    match Store.open_ ~dir with
+    match Store.open_ ~dir () with
     | Error e -> exit_err "cannot open store %s: %s" dir e
     | Ok (store, report) ->
       Printf.printf "state dir: %s\nrecovery:  %s\n" dir (Store.report_to_string report);
@@ -974,11 +979,217 @@ let store_cmd =
           optionally compact the write-ahead log into a snapshot.")
     Term.(const run $ setup_log_t $ dir $ compact)
 
+(* --- trace --- *)
+
+(* Hand-rolled JSON writers for the --stats-json dump (no JSON dependency;
+   the shapes are fixed, only strings need escaping). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec span_json span =
+  Printf.sprintf "{\"name\":\"%s\",\"start_ns\":%d,\"duration_ns\":%d,\"children\":[%s]}"
+    (json_escape (Obs.Span.name span))
+    (Obs.Span.start_ns span) (Obs.Span.duration_ns span)
+    (String.concat "," (List.map span_json (Obs.Span.children span)))
+
+let sample_json (s : Obs.sample) =
+  let labels =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         s.Obs.labels)
+  in
+  let value =
+    match s.Obs.value with
+    | Obs.Counter_value v -> Printf.sprintf "\"type\":\"counter\",\"value\":%d" v
+    | Obs.Gauge_value v -> Printf.sprintf "\"type\":\"gauge\",\"value\":%d" v
+    | Obs.Histogram_value { buckets; sum; count } ->
+      Printf.sprintf "\"type\":\"histogram\",\"sum\":%.17g,\"count\":%d,\"buckets\":[%s]"
+        sum count
+        (String.concat ","
+           (List.map
+              (fun (le, c) -> Printf.sprintf "{\"le\":%.17g,\"count\":%d}" le c)
+              buckets))
+  in
+  Printf.sprintf "{\"family\":\"%s\",\"help\":\"%s\",\"labels\":{%s},%s}"
+    (json_escape s.Obs.family) (json_escape s.Obs.help) labels value
+
+let stats_json_string obs =
+  Printf.sprintf "{\"spans\":[%s],\"metrics\":[%s]}\n"
+    (String.concat "," (List.map span_json (Obs.root_spans obs)))
+    (String.concat "," (List.map sample_json (Obs.samples obs)))
+
+let trace_cmd =
+  let run () seed scale trace n compressor linkage cut jobs limit syncs metrics_out
+      stats_json =
+    let obs = Obs.create () in
+    (* When generating the workload we also hold the ground-truth payload
+       checker, so the payload_check family populates; a loaded trace file
+       carries labels instead and skips that stage. *)
+    let ds, records =
+      match trace with
+      | None ->
+        let ds = Workload.generate ~seed ~scale () in
+        (Some ds, ds.Workload.records)
+      | Some _ -> (None, load_records ~trace ~seed ~scale)
+    in
+    (match ds with
+    | Some ds ->
+      ignore
+        (Payload_check.split ~obs ds.Workload.payload_check
+           (Array.map (fun r -> r.Trace.packet) records))
+    | None -> ());
+    let suspicious, normal = split_records records in
+    if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
+    let config = Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut) in
+    let outcome =
+      Pool.with_pool ~obs jobs (fun pool ->
+          Pipeline.run
+            ~config:(Pipeline.Config.with_pool pool config)
+            ~rng:(Prng.create seed) ~n ~suspicious ~normal ())
+    in
+    let signatures = outcome.Pipeline.signatures in
+    Printf.printf "pipeline: %d suspicious / %d normal packets -> %d signatures\n"
+      (Array.length suspicious) (Array.length normal) (List.length signatures);
+
+    (* Distribution: publish the set in growing chunks while an instrumented
+       client follows, journaling every step through an instrumented store so
+       the server/client/store families move too. *)
+    let server = Signature_server.create ~obs () in
+    let client = Signature_client.create ~obs ~seed:(seed + 1) () in
+    let state_dir = Filename.temp_file "leakdetect_trace" "" in
+    Sys.remove state_dir;
+    Sys.mkdir state_dir 0o755;
+    Fun.protect
+      ~finally:(fun () -> rm_rf state_dir)
+      (fun () ->
+        let store, _report =
+          match Store.open_ ~obs ~dir:state_dir () with
+          | Ok x -> x
+          | Error e -> exit_err "cannot open store %s: %s" state_dir e
+        in
+        let all = Array.of_list signatures in
+        let n_sigs = Array.length all in
+        for round = 1 to syncs do
+          let upto = if n_sigs = 0 then 0 else max 1 (n_sigs * round / syncs) in
+          ignore
+            (Signature_server.publish server (Array.to_list (Array.sub all 0 upto)));
+          Store.record_publish store server;
+          ignore (Signature_client.sync client ~fetch:(Signature_server.fetch server));
+          Store.record_sync store client
+        done;
+        (* One sync against an unchanged server, for the `unchanged` outcome. *)
+        ignore (Signature_client.sync client ~fetch:(Signature_server.fetch server));
+        Store.compact store;
+        Store.close store);
+    Printf.printf "distribution: server v%d, client v%d (%d publish/sync rounds)\n"
+      (Signature_server.current_version server)
+      (Signature_client.version client)
+      syncs;
+
+    (* Enforcement: replay through the monitor, then cross-check the O(1)
+       stats against the event log and the obs counters. *)
+    let monitor = Flow_control.create ~obs (Signature_client.signatures client) in
+    let replayed = min limit (Array.length records) in
+    for i = 0 to replayed - 1 do
+      let r = records.(i) in
+      ignore (Flow_control.process monitor ~app_id:r.Trace.app_id r.Trace.packet)
+    done;
+    (match Flow_control.reconcile monitor with
+    | Ok () -> ()
+    | Error e -> exit_err "monitor stats reconciliation failed: %s" e);
+    let allowed, blocked, prompted = Flow_control.stats monitor in
+    Printf.printf
+      "enforcement: %d replayed, %d allowed, %d blocked, %d prompted (stats reconciled)\n"
+      replayed allowed blocked prompted;
+
+    (* Scrape through the server's real /metrics endpoint. *)
+    let response =
+      Signature_server.handle server
+        (Request.make Request.GET Signature_server.metrics_endpoint)
+    in
+    if response.Response.status <> 200 then
+      exit_err "GET %s answered %d" Signature_server.metrics_endpoint
+        response.Response.status;
+    let scrape = response.Response.body in
+    (match metrics_out with
+    | Some "-" -> print_string scrape
+    | Some path ->
+      spit path scrape;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length scrape)
+    | None -> ());
+    (match stats_json with
+    | Some path ->
+      spit path (stats_json_string obs);
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    let families =
+      List.length
+        (List.sort_uniq compare (List.map (fun s -> s.Obs.family) (Obs.samples obs)))
+    in
+    Printf.printf "\nscrape: %d metric families\n\nspans:\n" families;
+    List.iter (fun span -> print_string (Obs.Span.render span)) (Obs.root_spans obs)
+  in
+  let scale_small =
+    Arg.(value & opt float 0.05
+        & info [ "scale" ] ~docv:"SCALE" ~doc:"Traffic scale factor (trace default 0.05).")
+  in
+  let n_small =
+    Arg.(value & opt int 150
+        & info [ "n"; "sample" ] ~docv:"N" ~doc:"Suspicious packets sampled for signatures.")
+  in
+  let limit =
+    Arg.(value & opt int 5_000
+        & info [ "limit" ] ~docv:"N" ~doc:"Packets to replay through the monitor.")
+  in
+  let syncs =
+    Arg.(value & opt int 3
+        & info [ "syncs" ] ~docv:"N" ~doc:"Publish/sync rounds against the signature server.")
+  in
+  let metrics_out =
+    Arg.(value
+        & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Write the Prometheus text scrape (served by the in-process \
+               $(b,GET /metrics) endpoint) to FILE; $(b,-) prints it to stdout.")
+  in
+  let stats_json =
+    Arg.(value
+        & opt (some string) None
+        & info [ "stats-json" ] ~docv:"FILE"
+            ~doc:"Write the span tree and every metric sample as JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the full pipeline (generation, distribution, enforcement, durable \
+          store) with an active metrics registry, print the span tree, and scrape \
+          the /metrics endpoint.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_small $ trace_t $ n_small
+          $ compressor_t $ linkage_t $ cut_t $ jobs_t $ limit $ syncs $ metrics_out
+          $ stats_json)
+
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
   Cmd.group
     (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
     [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
-      monitor_cmd; chaos_cmd; store_cmd ]
+      monitor_cmd; chaos_cmd; store_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -47,7 +47,7 @@ let () =
         Obfuscation.leak_packet rng device
           ~package:(Printf.sprintf "jp.co.app%02d" (i mod 8)))
   in
-  let result = Siggen.generate Siggen.default (Distance.create ()) training in
+  let result = Siggen.generate (Distance.create ()) training in
   Printf.printf "clustered %d encrypted reports -> %d signature(s)\n"
     (Array.length training)
     (List.length result.Siggen.signatures);

@@ -56,10 +56,9 @@ let () =
     (Leakdetect_cluster.Cophenetic.correlation matrix tree);
 
   (* Step 3: cut and extract invariant tokens per cluster (Sec. IV-E). *)
-  let config = Siggen.default in
-  let threshold = Siggen.cut_threshold_value config dist in
+  let threshold = Siggen.cut_threshold_value Siggen.default dist in
   Printf.printf "\n=== cut at distance %.2f ===\n" threshold;
-  let result = Siggen.generate config dist sample in
+  let result = Siggen.generate dist sample in
   List.iteri
     (fun i members ->
       Printf.printf "cluster %d: packets %s  (hosts: %s)\n" i

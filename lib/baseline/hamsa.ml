@@ -119,7 +119,7 @@ let evaluate ?(config = default) ~rng ~n ?(benign_train = 2000) ~suspicious ~nor
   let n = Array.length sample in
   let dist = Leakdetect_core.Distance.create () in
   let gen =
-    Leakdetect_core.Siggen.generate Leakdetect_core.Siggen.default dist sample
+    Leakdetect_core.Siggen.generate dist sample
   in
   let clusters =
     List.map (fun members -> List.map (fun i -> sample.(i)) members)

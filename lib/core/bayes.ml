@@ -103,17 +103,20 @@ let train ?(target_fp = 0.005) ~tokens ~suspicious ~benign () =
 
 type outcome = { signature_ : t; n_tokens : int; metrics : Metrics.t }
 
-let run ?(config = Pipeline.default_config) ?pool ?(target_fp = 0.005)
-    ?(benign_train = 2000) ~rng ~n ~suspicious ~normal () =
+let run ?(config = Pipeline_config.default) ?pool ?(target_fp = 0.005)
+    ?(benign_train = 2000) ~rng ?n ~suspicious ~normal () =
+  let config =
+    match pool with
+    | Some _ -> { config with Pipeline_config.pool }
+    | None -> config
+  in
+  let n = Option.value n ~default:config.Pipeline_config.sample_n in
+  Leakdetect_obs.Obs.with_span config.Pipeline_config.obs "bayes.run"
+  @@ fun () ->
   let sample = Sample.without_replacement rng n suspicious in
   let n = Array.length sample in
-  let dist =
-    Distance.create ~components:config.Pipeline.components
-      ~compressor:config.Pipeline.compressor
-      ~content_metric:config.Pipeline.content_metric
-      ?registry:config.Pipeline.registry ()
-  in
-  let gen = Siggen.generate ?pool config.Pipeline.siggen dist sample in
+  let dist = Pipeline_config.distance config in
+  let gen = Siggen.generate ~config dist sample in
   let clusters =
     List.map
       (fun members -> List.map (fun i -> sample.(i)) members)
@@ -121,7 +124,7 @@ let run ?(config = Pipeline.default_config) ?pool ?(target_fp = 0.005)
   in
   let tokens =
     candidate_tokens
-      ~min_token_len:config.Pipeline.siggen.Siggen.min_token_len clusters
+      ~min_token_len:config.Pipeline_config.siggen.Siggen.min_token_len clusters
   in
   let benign_sample = Sample.without_replacement rng benign_train normal in
   let trained = train ~target_fp ~tokens ~suspicious:sample ~benign:benign_sample () in

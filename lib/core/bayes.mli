@@ -59,18 +59,19 @@ type outcome = {
 }
 
 val run :
-  ?config:Pipeline.config ->
+  ?config:Pipeline_config.t ->
   ?pool:Leakdetect_parallel.Pool.t ->
   ?target_fp:float ->
   ?benign_train:int ->
   rng:Leakdetect_util.Prng.t ->
-  n:int ->
+  ?n:int ->
   suspicious:Leakdetect_http.Packet.t array ->
   normal:Leakdetect_http.Packet.t array ->
   unit ->
   outcome
 (** End-to-end Bayes variant of {!Pipeline.run}: sample N suspicious
-    packets, cluster them exactly as the paper does, take the per-cluster
-    invariant tokens as candidates, train weights against a benign sample
-    of [benign_train] packets (default 2000), and evaluate on the whole
-    dataset with the paper's metrics. *)
+    packets (default [config.sample_n]), cluster them exactly as the paper
+    does, take the per-cluster invariant tokens as candidates, train
+    weights against a benign sample of [benign_train] packets (default
+    2000), and evaluate on the whole dataset with the paper's metrics.
+    Like {!Pipeline.run}, the deprecated [?pool] overrides [config.pool]. *)

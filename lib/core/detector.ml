@@ -93,8 +93,25 @@ let all_matches t packet = all_matches_content t (Packet.content_string packet)
 let detects t packet = Option.is_some (first_match t packet)
 
 module Pool = Leakdetect_parallel.Pool
+module Obs = Leakdetect_obs.Obs
 
-let detect_bitmap ?pool t packets =
+let record_scan obs ~packets ~hits ~elapsed_ns =
+  if not (Obs.is_noop obs) then begin
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Packets scanned by whole-trace detection."
+         "leakdetect_detection_packets_total")
+      packets;
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Packets matching at least one signature."
+         "leakdetect_detection_hits_total")
+      hits;
+    Obs.Histogram.observe
+      (Obs.histogram obs ~help:"Whole-trace detection scan latency."
+         ~buckets:Obs.duration_buckets "leakdetect_detection_seconds")
+      (float_of_int elapsed_ns /. 1e9)
+  end
+
+let detect_bitmap_raw ?pool t packets =
   match t.automaton with
   | None -> Array.make (Array.length packets) false
   | Some automaton ->
@@ -112,12 +129,30 @@ let detect_bitmap ?pool t packets =
         out.(i) <- Option.is_some (first_entry t scratch content));
     out
 
-let count_detected ?pool t packets =
-  match pool with
-  | None ->
+let count_bitmap bitmap =
+  Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0 bitmap
+
+let detect_bitmap ?pool ?(obs = Obs.noop) t packets =
+  if Obs.is_noop obs then detect_bitmap_raw ?pool t packets
+  else
+    Obs.with_span obs "detector.scan" @@ fun () ->
+    let t0 = Obs.Clock.now_ns () in
+    let bitmap = detect_bitmap_raw ?pool t packets in
+    record_scan obs ~packets:(Array.length packets) ~hits:(count_bitmap bitmap)
+      ~elapsed_ns:(Obs.Clock.now_ns () - t0);
+    bitmap
+
+let count_detected ?pool ?(obs = Obs.noop) t packets =
+  match (pool, Obs.is_noop obs) with
+  | None, true ->
     Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
-  | Some _ ->
-    Array.fold_left
-      (fun acc hit -> if hit then acc + 1 else acc)
-      0
-      (detect_bitmap ?pool t packets)
+  | None, false ->
+    Obs.with_span obs "detector.scan" @@ fun () ->
+    let t0 = Obs.Clock.now_ns () in
+    let hits =
+      Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
+    in
+    record_scan obs ~packets:(Array.length packets) ~hits
+      ~elapsed_ns:(Obs.Clock.now_ns () - t0);
+    hits
+  | Some _, _ -> count_bitmap (detect_bitmap ?pool ~obs t packets)

@@ -23,11 +23,18 @@ val all_matches_content : t -> string -> Signature.t list
 val detects : t -> Leakdetect_http.Packet.t -> bool
 
 val count_detected :
-  ?pool:Leakdetect_parallel.Pool.t -> t -> Leakdetect_http.Packet.t array -> int
+  ?pool:Leakdetect_parallel.Pool.t ->
+  ?obs:Leakdetect_obs.Obs.t ->
+  t -> Leakdetect_http.Packet.t array -> int
 
 val detect_bitmap :
-  ?pool:Leakdetect_parallel.Pool.t -> t -> Leakdetect_http.Packet.t array -> bool array
-(** Per-packet detection flags, aligned with the input array.  With
+  ?pool:Leakdetect_parallel.Pool.t ->
+  ?obs:Leakdetect_obs.Obs.t ->
+  t -> Leakdetect_http.Packet.t array -> bool array
+(** Per-packet detection flags, aligned with the input array.  [?obs]
+    (default noop) records a [detector.scan] span and the
+    [leakdetect_detection_*] counters/histogram — per scan, not per packet,
+    so the hot loop is untouched.  With
     [?pool], packets are scanned from several domains: the Aho-Corasick
     automaton is shared read-only and every domain reuses a private
     matched-set scratch buffer, so the bitmap is identical to the

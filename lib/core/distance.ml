@@ -122,7 +122,9 @@ let prewarm ~pool t packets =
   Compressor.Cache.freeze t.cache;
   Leakdetect_text.Trigram.Cache.freeze t.trigram_cache
 
-let matrix ?pool t packets =
+module Obs = Leakdetect_obs.Obs
+
+let build_matrix ?pool t packets =
   let n = Array.length packets in
   let parallel = match pool with Some p -> Pool.size p > 1 | None -> false in
   if not parallel then
@@ -154,6 +156,23 @@ let matrix ?pool t packets =
             done);
         m)
   end
+
+let matrix ?pool ?(obs = Obs.noop) t packets =
+  if Obs.is_noop obs then build_matrix ?pool t packets
+  else
+    Obs.with_span obs "distance.matrix" @@ fun () ->
+    let n = Array.length packets in
+    let t0 = Obs.Clock.now_ns () in
+    let m = build_matrix ?pool t packets in
+    Obs.Histogram.observe
+      (Obs.histogram obs ~help:"Distance-matrix build latency."
+         ~buckets:Obs.duration_buckets "leakdetect_distance_matrix_seconds")
+      (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Packet pairs compared while building matrices."
+         "leakdetect_distance_pairs_total")
+      (n * (n - 1) / 2);
+    m
 
 let max_possible t =
   let b flag = if flag then 1. else 0. in

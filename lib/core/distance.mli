@@ -78,8 +78,14 @@ val d_pkt : t -> Leakdetect_http.Packet.t -> Leakdetect_http.Packet.t -> float
 
 val matrix :
   ?pool:Leakdetect_parallel.Pool.t ->
+  ?obs:Leakdetect_obs.Obs.t ->
   t -> Leakdetect_http.Packet.t array -> Leakdetect_cluster.Dist_matrix.t
 (** Pairwise [d_pkt] over the sample — the input to clustering.
+
+    [?obs] (default noop) records a [distance.matrix] span, the
+    [leakdetect_distance_pairs_total] counter and the
+    [leakdetect_distance_matrix_seconds] histogram — once per build, so the
+    pair loop itself carries no instrumentation.
 
     With [?pool] (size > 1) the O(N^2) pair loop fans out across domains.
     Domain safety follows a two-phase protocol: every per-string compressed

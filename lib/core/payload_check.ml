@@ -29,11 +29,25 @@ let is_sensitive t packet =
   let content = Packet.content_string packet in
   List.exists (fun (_, pat) -> Search.matches pat content) t.compiled
 
-let split t packets =
+module Obs = Leakdetect_obs.Obs
+
+let split ?(obs = Obs.noop) t packets =
+  Obs.with_span obs "payload_check.split" @@ fun () ->
   let suspicious = ref [] and normal = ref [] in
   Array.iter
     (fun p ->
       if is_sensitive t p then suspicious := p :: !suspicious
       else normal := p :: !normal)
     packets;
-  (Array.of_list (List.rev !suspicious), Array.of_list (List.rev !normal))
+  let suspicious = Array.of_list (List.rev !suspicious)
+  and normal = Array.of_list (List.rev !normal) in
+  let classified class_ n =
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Packets classified by the payload check."
+         ~labels:[ ("class", class_) ]
+         "leakdetect_payload_check_packets_total")
+      n
+  in
+  classified "sensitive" (Array.length suspicious);
+  classified "normal" (Array.length normal);
+  (suspicious, normal)

@@ -24,7 +24,10 @@ val scan : t -> Leakdetect_http.Packet.t -> Sensitive.kind list
 val is_sensitive : t -> Leakdetect_http.Packet.t -> bool
 
 val split :
+  ?obs:Leakdetect_obs.Obs.t ->
   t ->
   Leakdetect_http.Packet.t array ->
   Leakdetect_http.Packet.t array * Leakdetect_http.Packet.t array
-(** [(suspicious, normal)] preserving input order within each group. *)
+(** [(suspicious, normal)] preserving input order within each group.
+    [?obs] records a [payload_check.split] span and the per-class
+    [leakdetect_payload_check_packets_total] counter. *)

@@ -1,26 +1,26 @@
 module Prng = Leakdetect_util.Prng
 module Sample = Leakdetect_util.Sample
+module Obs = Leakdetect_obs.Obs
 
 let log_src = Logs.Src.create "leakdetect.pipeline" ~doc:"End-to-end evaluation pipeline"
 
 module Log = (val Logs.src_log log_src)
 
-type config = {
+module Config = Pipeline_config
+
+type config = Pipeline_config.t = {
   components : Distance.components;
   compressor : Leakdetect_compress.Compressor.algorithm;
   content_metric : Distance.content_metric;
   registry : Leakdetect_net.Registry.t option;
   siggen : Siggen.config;
+  pool : Leakdetect_parallel.Pool.t option;
+  on_error : Config.on_error;
+  sample_n : int;
+  obs : Obs.t;
 }
 
-let default_config =
-  {
-    components = Distance.all_components;
-    compressor = Leakdetect_compress.Compressor.Lz77;
-    content_metric = Distance.Ncd;
-    registry = None;
-    siggen = Siggen.default;
-  }
+let default_config = Config.default
 
 type outcome = {
   config : config;
@@ -31,17 +31,19 @@ type outcome = {
   metrics : Metrics.t;
 }
 
-let run ?(config = default_config) ?pool ~rng ~n ~suspicious ~normal () =
+let run_instrumented config ~rng ~n ~suspicious ~normal =
+  let obs = config.obs and pool = config.pool in
   let sample = Sample.without_replacement rng n suspicious in
   let n = Array.length sample in
-  let dist =
-    Distance.create ~components:config.components ~compressor:config.compressor
-      ~content_metric:config.content_metric ?registry:config.registry ()
-  in
-  let gen = Siggen.generate ?pool config.siggen dist sample in
+  Obs.Gauge.set
+    (Obs.gauge obs ~help:"Suspicious packets sampled by the latest run."
+       "leakdetect_pipeline_sample_size")
+    n;
+  let dist = Config.distance config in
+  let gen = Siggen.generate ~config dist sample in
   let detector = Detector.create gen.Siggen.signatures in
-  let sensitive_detected = Detector.count_detected ?pool detector suspicious in
-  let normal_detected = Detector.count_detected ?pool detector normal in
+  let sensitive_detected = Detector.count_detected ?pool ~obs detector suspicious in
+  let normal_detected = Detector.count_detected ?pool ~obs detector normal in
   let metrics =
     Metrics.compute
       {
@@ -62,5 +64,27 @@ let run ?(config = default_config) ?pool ~rng ~n ~suspicious ~normal () =
     metrics;
   }
 
-let sweep ?(config = default_config) ?pool ~rng ~ns ~suspicious ~normal () =
-  List.map (fun n -> run ~config ?pool ~rng:(Prng.split rng) ~n ~suspicious ~normal ()) ns
+let run ?(config = Config.default) ?pool ?n ~rng ~suspicious ~normal () =
+  let config =
+    match pool with Some _ -> { config with pool } | None -> config
+  in
+  let n = Option.value n ~default:config.sample_n in
+  let obs = config.obs in
+  if Obs.is_noop obs then run_instrumented config ~rng ~n ~suspicious ~normal
+  else
+    Obs.with_span obs "pipeline.run" @@ fun () ->
+    let t0 = Obs.Clock.now_ns () in
+    let outcome = run_instrumented config ~rng ~n ~suspicious ~normal in
+    Obs.Counter.inc
+      (Obs.counter obs ~help:"Completed end-to-end pipeline runs."
+         "leakdetect_pipeline_runs_total");
+    Obs.Histogram.observe
+      (Obs.histogram obs ~help:"End-to-end pipeline run latency."
+         ~buckets:Obs.duration_buckets "leakdetect_pipeline_run_seconds")
+      (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
+    outcome
+
+let sweep ?(config = Config.default) ?pool ~rng ~ns ~suspicious ~normal () =
+  List.map
+    (fun n -> run ~config ?pool ~rng:(Prng.split rng) ~n ~suspicious ~normal ())
+    ns

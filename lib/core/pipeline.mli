@@ -2,16 +2,27 @@
     payload-check split, uniform sample of N suspicious packets, clustering,
     signature generation, whole-trace detection, paper metrics. *)
 
-type config = {
+module Config = Pipeline_config
+(** The unified configuration record shared by {!run}, {!Siggen.generate},
+    {!Bayes.run} and the CLI — see {!Pipeline_config}. *)
+
+type config = Pipeline_config.t = {
   components : Distance.components;
   compressor : Leakdetect_compress.Compressor.algorithm;
   content_metric : Distance.content_metric;
   registry : Leakdetect_net.Registry.t option;
       (** WHOIS refinement of the destination distance (Sec. VI). *)
   siggen : Siggen.config;
+  pool : Leakdetect_parallel.Pool.t option;
+  on_error : Config.on_error;
+  sample_n : int;
+  obs : Leakdetect_obs.Obs.t;
 }
+(** Equation on {!Pipeline_config.t}: pre-existing [Pipeline.default_config]
+    record updates and [config.Pipeline.field] accesses keep compiling. *)
 
 val default_config : config
+(** Alias of {!Config.default}. *)
 
 type outcome = {
   config : config;
@@ -25,19 +36,25 @@ type outcome = {
 val run :
   ?config:config ->
   ?pool:Leakdetect_parallel.Pool.t ->
+  ?n:int ->
   rng:Leakdetect_util.Prng.t ->
-  n:int ->
   suspicious:Leakdetect_http.Packet.t array ->
   normal:Leakdetect_http.Packet.t array ->
   unit ->
   outcome
-(** [run ~rng ~n ~suspicious ~normal ()] samples [min n |suspicious|]
+(** [run ~rng ~suspicious ~normal ()] samples [min n |suspicious|]
     packets, generates signatures and evaluates them on the whole dataset
     (both groups).  The groups are the ground-truth split the paper prepared
     manually (Sec. V-A); obtain them from {!Payload_check.split} or from
     trace labels.
 
-    [?pool] parallelizes the two hot phases — the NCD distance matrix and
+    [n] defaults to [config.sample_n]; [?pool], kept as a deprecated
+    convenience, overrides [config.pool].  Prefer threading both through
+    the config.  When [config.obs] is active, the run is wrapped in a
+    [pipeline.run] span and records the [leakdetect_pipeline_*] metric
+    families on top of the per-stage instrumentation.
+
+    A pool parallelizes the two hot phases — the NCD distance matrix and
     whole-trace detection — over its domains.  Sampling, clustering and
     signature extraction are unchanged and the outcome is bit-identical
     for every pool size. *)

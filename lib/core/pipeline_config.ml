@@ -1,0 +1,71 @@
+module Obs = Leakdetect_obs.Obs
+
+type cut = Auto | Threshold of float | Count of int | Every_merge
+
+type siggen = {
+  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  cut : cut;
+  min_token_len : int;
+  min_specificity : int;
+  mode : Signature.mode;
+}
+
+let default_siggen =
+  {
+    linkage = Leakdetect_cluster.Agglomerative.Group_average;
+    cut = Auto;
+    min_token_len = 3;
+    min_specificity = 8;
+    mode = Signature.Conjunction;
+  }
+
+type on_error = [ `Fail | `Skip ]
+
+type t = {
+  components : Distance.components;
+  compressor : Leakdetect_compress.Compressor.algorithm;
+  content_metric : Distance.content_metric;
+  registry : Leakdetect_net.Registry.t option;
+  siggen : siggen;
+  pool : Leakdetect_parallel.Pool.t option;
+  on_error : on_error;
+  sample_n : int;
+  obs : Obs.t;
+}
+
+let default =
+  {
+    components = Distance.all_components;
+    compressor = Leakdetect_compress.Compressor.Lz77;
+    content_metric = Distance.Ncd;
+    registry = None;
+    siggen = default_siggen;
+    pool = None;
+    on_error = `Fail;
+    sample_n = 500;
+    obs = Obs.noop;
+  }
+
+let with_components components t = { t with components }
+let with_compressor compressor t = { t with compressor }
+let with_content_metric content_metric t = { t with content_metric }
+let with_whois registry t = { t with registry }
+let with_siggen siggen t = { t with siggen }
+let with_pool pool t = { t with pool }
+let with_on_error on_error t = { t with on_error }
+let with_obs obs t = { t with obs }
+
+let with_sample_n sample_n t =
+  if sample_n < 0 then invalid_arg "Pipeline.Config.with_sample_n: negative N";
+  { t with sample_n }
+
+let with_linkage linkage t = { t with siggen = { t.siggen with linkage } }
+let with_cut cut t = { t with siggen = { t.siggen with cut } }
+let with_min_token_len min_token_len t = { t with siggen = { t.siggen with min_token_len } }
+let with_min_specificity min_specificity t =
+  { t with siggen = { t.siggen with min_specificity } }
+let with_mode mode t = { t with siggen = { t.siggen with mode } }
+
+let distance t =
+  Distance.create ~components:t.components ~compressor:t.compressor
+    ~content_metric:t.content_metric ?registry:t.registry ()

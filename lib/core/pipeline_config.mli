@@ -1,0 +1,74 @@
+(** The unified pipeline configuration ([Pipeline.Config]).
+
+    Every knob the end-to-end pipeline reads lives here: distance
+    components and compressor, the signature-generation sub-config, the
+    domain pool, the parse-error policy, the default sample size N and the
+    observability registry.  It replaces the loose [?pool] / [?on_error]
+    optional arguments that had crept across [Pipeline], [Siggen], [Bayes]
+    and the CLI; those arguments survive as deprecated thin wrappers.
+
+    Build configurations from {!default} with the [with_*] builders:
+
+    {[
+      Pipeline.Config.(default |> with_pool pool |> with_obs registry)
+    ]} *)
+
+(** Where to cut the dendrogram into clusters (see {!Siggen.cut}). *)
+type cut = Auto | Threshold of float | Count of int | Every_merge
+
+type siggen = {
+  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  cut : cut;
+  min_token_len : int;  (** Tokens shorter than this are dropped (default 3). *)
+  min_specificity : int;
+      (** Signatures whose non-boilerplate token mass is below this are
+          rejected as degenerate (default 8). *)
+  mode : Signature.mode;
+}
+(** The signature-generation sub-config; [Siggen.config] is an equation on
+    this type, so the two are interchangeable. *)
+
+val default_siggen : siggen
+
+type on_error = [ `Fail | `Skip ]
+(** Policy for malformed trace / signature lines: fail on the first, or
+    salvage and count. *)
+
+type t = {
+  components : Distance.components;
+  compressor : Leakdetect_compress.Compressor.algorithm;
+  content_metric : Distance.content_metric;
+  registry : Leakdetect_net.Registry.t option;
+      (** WHOIS refinement of the destination distance (Sec. VI). *)
+  siggen : siggen;
+  pool : Leakdetect_parallel.Pool.t option;
+      (** Domain pool for the parallel phases; [None] = sequential. *)
+  on_error : on_error;  (** Parse-error policy for loaders (default [`Fail]). *)
+  sample_n : int;  (** Default sample size N when a run does not pass one. *)
+  obs : Leakdetect_obs.Obs.t;
+      (** Observability registry; {!Leakdetect_obs.Obs.noop} (the default)
+          disables instrumentation at one-branch cost. *)
+}
+
+val default : t
+
+val with_components : Distance.components -> t -> t
+val with_compressor : Leakdetect_compress.Compressor.algorithm -> t -> t
+val with_content_metric : Distance.content_metric -> t -> t
+val with_whois : Leakdetect_net.Registry.t option -> t -> t
+val with_siggen : siggen -> t -> t
+val with_pool : Leakdetect_parallel.Pool.t option -> t -> t
+val with_on_error : on_error -> t -> t
+val with_obs : Leakdetect_obs.Obs.t -> t -> t
+
+val with_sample_n : int -> t -> t
+(** @raise Invalid_argument when negative. *)
+
+val with_linkage : Leakdetect_cluster.Agglomerative.linkage -> t -> t
+val with_cut : cut -> t -> t
+val with_min_token_len : int -> t -> t
+val with_min_specificity : int -> t -> t
+val with_mode : Signature.mode -> t -> t
+
+val distance : t -> Distance.t
+(** A fresh {!Distance.t} built from the distance-related fields. *)

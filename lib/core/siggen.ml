@@ -2,14 +2,15 @@ module Dendrogram = Leakdetect_cluster.Dendrogram
 module Agglomerative = Leakdetect_cluster.Agglomerative
 module Tokens = Leakdetect_text.Tokens
 module Packet = Leakdetect_http.Packet
+module Obs = Leakdetect_obs.Obs
 
 let log_src = Logs.Src.create "leakdetect.siggen" ~doc:"Signature generation"
 
 module Log = (val Logs.src_log log_src)
 
-type cut = Auto | Threshold of float | Count of int | Every_merge
+type cut = Pipeline_config.cut = Auto | Threshold of float | Count of int | Every_merge
 
-type config = {
+type config = Pipeline_config.siggen = {
   linkage : Agglomerative.linkage;
   cut : cut;
   min_token_len : int;
@@ -17,14 +18,7 @@ type config = {
   mode : Signature.mode;
 }
 
-let default =
-  {
-    linkage = Agglomerative.Group_average;
-    cut = Auto;
-    min_token_len = 3;
-    min_specificity = 8;
-    mode = Signature.Conjunction;
-  }
+let default = Pipeline_config.default_siggen
 
 type result = {
   signatures : Signature.t list;
@@ -44,42 +38,49 @@ let rec internal_subtrees = function
   | Dendrogram.Node { left; right; _ } as node ->
     (node :: internal_subtrees left) @ internal_subtrees right
 
-let generate ?pool config dist sample =
+let generate ?(config = Pipeline_config.default) dist sample =
+  let obs = config.Pipeline_config.obs in
+  let sg = config.Pipeline_config.siggen in
   if Array.length sample = 0 then
     { signatures = []; dendrogram = None; clusters = []; rejected = 0 }
-  else begin
-    let matrix = Distance.matrix ?pool dist sample in
-    let dendrogram = Agglomerative.cluster ~linkage:config.linkage matrix in
+  else
+    Obs.with_span obs "siggen.generate" @@ fun () ->
+    let matrix = Distance.matrix ?pool:config.Pipeline_config.pool ~obs dist sample in
+    let dendrogram =
+      Obs.with_span obs "siggen.cluster" (fun () ->
+          Agglomerative.cluster ~linkage:sg.linkage matrix)
+    in
     let forest =
       match dendrogram with
       | None -> []
       | Some tree -> (
-        match config.cut with
+        match sg.cut with
         | Count k -> Dendrogram.cut_into k tree
         | Every_merge -> internal_subtrees tree
         | Auto | Threshold _ ->
-          Dendrogram.cut ~threshold:(cut_threshold_value config dist) tree)
+          Dendrogram.cut ~threshold:(cut_threshold_value sg dist) tree)
     in
     let clusters = List.map Dendrogram.members forest in
     let next_id = ref 0 and rejected = ref 0 in
     let seen_tokens = Hashtbl.create 64 in
     let signatures =
+      Obs.with_span obs "siggen.tokens" @@ fun () ->
       List.filter_map
         (fun members ->
           let contents =
             List.map (fun i -> Packet.content_string sample.(i)) members
           in
-          let tokens = Tokens.extract ~min_len:config.min_token_len contents in
+          let tokens = Tokens.extract ~min_len:sg.min_token_len contents in
           match tokens with
           | [] ->
             incr rejected;
             None
           | tokens ->
             let candidate =
-              Signature.make ~id:!next_id ~mode:config.mode
+              Signature.make ~id:!next_id ~mode:sg.mode
                 ~cluster_size:(List.length members) tokens
             in
-            if Signature.specificity candidate < config.min_specificity then begin
+            if Signature.specificity candidate < sg.min_specificity then begin
               incr rejected;
               None
             end
@@ -95,6 +96,20 @@ let generate ?pool config dist sample =
             end)
         clusters
     in
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Clusters produced by the dendrogram cut."
+         "leakdetect_siggen_clusters_total")
+      (List.length clusters);
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Signatures by filter outcome."
+         ~labels:[ ("status", "accepted") ]
+         "leakdetect_siggen_signatures_total")
+      (List.length signatures);
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Signatures by filter outcome."
+         ~labels:[ ("status", "rejected") ]
+         "leakdetect_siggen_signatures_total")
+      !rejected;
     Log.info (fun m ->
         m "sample of %d -> %d clusters, %d signatures (%d rejected)"
           (Array.length sample) (List.length clusters) (List.length signatures)
@@ -103,4 +118,12 @@ let generate ?pool config dist sample =
       (fun s -> Log.debug (fun m -> m "signature: %a" Signature.pp s))
       signatures;
     { signatures; dendrogram; clusters; rejected = !rejected }
-  end
+
+let generate_with ?pool ?obs config dist sample =
+  let cfg =
+    { Pipeline_config.default with Pipeline_config.siggen = config; pool }
+  in
+  let cfg =
+    match obs with Some obs -> { cfg with Pipeline_config.obs } | None -> cfg
+  in
+  generate ~config:cfg dist sample

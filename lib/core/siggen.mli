@@ -2,16 +2,19 @@
     clustering -> per-cluster invariant tokens -> filtered signature set
     (Sec. IV-D and IV-E end to end). *)
 
-type cut = Auto | Threshold of float | Count of int | Every_merge
+type cut = Pipeline_config.cut = Auto | Threshold of float | Count of int | Every_merge
 (** Where to cut the dendrogram into clusters.  The paper iterates over "the
     top of cluster" without fixing a rule; [Auto] cuts at a quarter of the
     maximum possible packet distance under the active components, which
     empirically separates per-advertisement-module clusters.  [Every_merge]
     is the most literal reading of Sec. IV-E: every internal node of the
     dendrogram becomes a candidate cluster (signatures deduplicated by
-    token list, degenerate ones rejected as usual). *)
+    token list, degenerate ones rejected as usual).
 
-type config = {
+    (An equation on {!Pipeline_config.cut}: the definition moved into the
+    unified config.) *)
+
+type config = Pipeline_config.siggen = {
   linkage : Leakdetect_cluster.Agglomerative.linkage;
   cut : cut;
   min_token_len : int;  (** Tokens shorter than this are dropped (default 3). *)
@@ -20,6 +23,8 @@ type config = {
           rejected as degenerate (default 8). *)
   mode : Signature.mode;
 }
+(** An equation on {!Pipeline_config.siggen}, so a siggen sub-config can be
+    read out of (or spliced into) a unified [Pipeline.Config.t]. *)
 
 val default : config
 
@@ -31,12 +36,23 @@ type result = {
 }
 
 val generate :
-  ?pool:Leakdetect_parallel.Pool.t ->
-  config -> Distance.t -> Leakdetect_http.Packet.t array -> result
-(** [generate config dist sample].  Signature ids number accepted clusters
-    from 0 in cut order.  [?pool] parallelizes the distance matrix (see
+  ?config:Pipeline_config.t -> Distance.t -> Leakdetect_http.Packet.t array -> result
+(** [generate ~config dist sample] clusters the sample and extracts one
+    signature per surviving cluster.  Signature ids number accepted
+    clusters from 0 in cut order.  The clustering knobs come from
+    [config.siggen]; [config.pool] parallelizes the distance matrix (see
     {!Distance.matrix}); clustering itself stays sequential, so the result
-    is identical for every pool size. *)
+    is identical for every pool size.  [config.obs] records spans
+    ([siggen.generate] > [siggen.cluster] / [siggen.tokens]) and the
+    cluster / signature counters. *)
+
+val generate_with :
+  ?pool:Leakdetect_parallel.Pool.t ->
+  ?obs:Leakdetect_obs.Obs.t ->
+  config -> Distance.t -> Leakdetect_http.Packet.t array -> result
+[@@ocaml.deprecated "Use generate ?config with a unified Pipeline.Config.t."]
+(** Pre-[Config] signature, kept so existing call sites compile: builds a
+    default unified config around the given siggen sub-config. *)
 
 val cut_threshold_value : config -> Distance.t -> float
 (** The concrete threshold [Auto] resolves to (exposed for reporting). *)

@@ -1,3 +1,5 @@
+module Leak_error = Leakdetect_util.Leak_error
+
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -53,15 +55,16 @@ let of_line line =
   | id_s :: mode_s :: size_s :: tokens when tokens <> [] -> (
     match (int_of_string_opt id_s, mode_of_string mode_s, int_of_string_opt size_s) with
     | Some id, Some mode, Some cluster_size -> (
-      let unescaped = List.filter_map unescape tokens in
-      if List.length unescaped <> List.length tokens then Error "bad token escape"
-      else
-        try Ok (Signature.make ~id ~mode ~cluster_size unescaped)
-        with Invalid_argument m -> Error m)
-    | None, _, _ -> Error "bad id"
-    | _, None, _ -> Error "bad mode"
-    | _, _, None -> Error "bad cluster size")
-  | _ -> Error "expected at least 4 tab-separated fields"
+      match List.find_opt (fun t -> unescape t = None) tokens with
+      | Some bad -> Error (Leak_error.Bad_escape bad)
+      | None ->
+        let unescaped = List.filter_map unescape tokens in
+        (try Ok (Signature.make ~id ~mode ~cluster_size unescaped)
+         with Invalid_argument m -> Error (Leak_error.Invalid m)))
+    | None, _, _ -> Error (Leak_error.Bad_field ("id", id_s))
+    | _, None, _ -> Error (Leak_error.Bad_field ("mode", mode_s))
+    | _, _, None -> Error (Leak_error.Bad_field ("cluster size", size_s)))
+  | _ -> Error (Leak_error.Syntax "expected at least 4 tab-separated fields")
 
 let save path signatures =
   let oc = open_out path in
@@ -76,7 +79,13 @@ let save path signatures =
 
 module Trace = Leakdetect_http.Trace
 
-let load ?(on_error = `Fail) path =
+let load ?config ?on_error path =
+  let on_error =
+    match (on_error, config) with
+    | Some policy, _ -> policy
+    | None, Some config -> config.Pipeline_config.on_error
+    | None, None -> `Fail
+  in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -87,8 +96,9 @@ let load ?(on_error = `Fail) path =
         | line -> (
           match of_line line with
           | Ok s -> loop (lineno + 1) (s :: acc) skips
-          | Error e -> (
-            match on_error with
+          | Error e ->
+            let e = Leak_error.to_string e in
+            (match on_error with
             | `Fail -> Error (Printf.sprintf "line %d: %s" lineno e)
             | `Skip -> loop (lineno + 1) acc (Trace.add_skip skips lineno e)))
       in

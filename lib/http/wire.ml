@@ -2,17 +2,16 @@ type limits = { max_headers : int; max_header_line : int; max_body : int }
 
 let default_limits = { max_headers = 64; max_header_line = 4096; max_body = 1 lsl 20 }
 
-type error =
+type error = Leakdetect_util.Leak_error.t =
   | Syntax of string
   | Too_many_headers of int
   | Header_line_too_long of int
   | Body_too_large of int
+  | Bad_field of string * string
+  | Bad_escape of string
+  | Invalid of string
 
-let error_to_string = function
-  | Syntax m -> m
-  | Too_many_headers n -> Printf.sprintf "too many headers (%d)" n
-  | Header_line_too_long n -> Printf.sprintf "header line too long (%d bytes)" n
-  | Body_too_large n -> Printf.sprintf "body too large (%d bytes)" n
+let error_to_string = Leakdetect_util.Leak_error.to_string
 
 let print (r : Request.t) =
   let buf = Buffer.create 256 in

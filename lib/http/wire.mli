@@ -16,13 +16,19 @@ type limits = {
 val default_limits : limits
 (** 64 headers, 4 KiB header lines, 1 MiB bodies. *)
 
-type error =
+type error = Leakdetect_util.Leak_error.t =
   | Syntax of string  (** Malformed request/status/header line. *)
   | Too_many_headers of int  (** Header lines seen. *)
   | Header_line_too_long of int  (** Offending line length. *)
   | Body_too_large of int  (** Body length. *)
+  | Bad_field of string * string  (** Used by the signature codec. *)
+  | Bad_escape of string  (** Used by the signature codec. *)
+  | Invalid of string  (** Used by the signature codec. *)
+(** Re-export of {!Leakdetect_util.Leak_error.t}: one error variant shared
+    by the wire, response and signature parsers. *)
 
 val error_to_string : error -> string
+(** Alias of {!Leakdetect_util.Leak_error.to_string}. *)
 
 val print : Request.t -> string
 (** Request line, headers, CRLF CRLF, body.  A [Content-Length] header is

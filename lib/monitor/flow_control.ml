@@ -1,4 +1,5 @@
 module Detector = Leakdetect_core.Detector
+module Obs = Leakdetect_obs.Obs
 
 type decision = Allowed | Blocked | Prompted of bool
 
@@ -37,12 +38,22 @@ type t = {
   mutable n_allowed : int;
   mutable n_blocked : int;
   mutable n_prompted : int;
+  (* Obs counter handles, interned once so [process] pays one branch. *)
+  obs : Obs.t;
+  c_allowed : Obs.Counter.t;
+  c_blocked : Obs.Counter.t;
+  c_prompted : Obs.Counter.t;
 }
 
 let deny_all ~app_id:_ _packet _match = false
 
+let decision_counter obs label =
+  Obs.counter obs ~help:"Flow-control decisions, by kind."
+    ~labels:[ ("decision", label) ]
+    "leakdetect_monitor_decisions_total"
+
 let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
-    ?(on_prompt = deny_all) signatures =
+    ?(on_prompt = deny_all) ?(obs = Obs.noop) signatures =
   {
     policy;
     prompt_budget;
@@ -57,6 +68,10 @@ let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
     n_allowed = 0;
     n_blocked = 0;
     n_prompted = 0;
+    obs;
+    c_allowed = decision_counter obs "allowed";
+    c_blocked = decision_counter obs "blocked";
+    c_prompted = decision_counter obs "prompted";
   }
 
 let prompts_for t ~app_id =
@@ -112,11 +127,48 @@ let process t ~app_id packet =
   t.events <- { seq = t.next_seq; app_id; packet; matched; decision } :: t.events;
   t.next_seq <- t.next_seq + 1;
   (match decision with
-  | Allowed -> t.n_allowed <- t.n_allowed + 1
-  | Blocked -> t.n_blocked <- t.n_blocked + 1
-  | Prompted _ -> t.n_prompted <- t.n_prompted + 1);
+  | Allowed ->
+    t.n_allowed <- t.n_allowed + 1;
+    Obs.Counter.inc t.c_allowed
+  | Blocked ->
+    t.n_blocked <- t.n_blocked + 1;
+    Obs.Counter.inc t.c_blocked
+  | Prompted _ ->
+    t.n_prompted <- t.n_prompted + 1;
+    Obs.Counter.inc t.c_prompted);
   decision
 
 let log t = List.rev t.events
 
 let stats t = (t.n_allowed, t.n_blocked, t.n_prompted)
+
+let reconcile t =
+  (* Three independent tallies of the same decisions: the O(1) counters,
+     a recount of the event log, and (when active) the obs counters.  Any
+     disagreement means an increment path was missed or doubled. *)
+  let la, lb, lp =
+    List.fold_left
+      (fun (a, b, p) e ->
+        match e.decision with
+        | Allowed -> (a + 1, b, p)
+        | Blocked -> (a, b + 1, p)
+        | Prompted _ -> (a, b, p + 1))
+      (0, 0, 0) t.events
+  in
+  let mismatch what (ea, eb, ep) =
+    Error
+      (Printf.sprintf
+         "stats (%d/%d/%d allowed/blocked/prompted) disagree with %s (%d/%d/%d)"
+         t.n_allowed t.n_blocked t.n_prompted what ea eb ep)
+  in
+  if (la, lb, lp) <> (t.n_allowed, t.n_blocked, t.n_prompted) then
+    mismatch "event log" (la, lb, lp)
+  else if Obs.is_noop t.obs then Ok ()
+  else begin
+    let oa = Obs.Counter.value t.c_allowed
+    and ob = Obs.Counter.value t.c_blocked
+    and op = Obs.Counter.value t.c_prompted in
+    if (oa, ob, op) <> (t.n_allowed, t.n_blocked, t.n_prompted) then
+      mismatch "obs counters" (oa, ob, op)
+    else Ok ()
+  end

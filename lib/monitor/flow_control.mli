@@ -37,6 +37,7 @@ val create :
   ?prompt_budget:int ->
   ?fail_mode:fail_mode ->
   ?on_prompt:(app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool) ->
+  ?obs:Leakdetect_obs.Obs.t ->
   Leakdetect_core.Signature.t list ->
   t
 (** [create signatures] builds a monitor with the default policy (prompt on
@@ -75,3 +76,12 @@ val stats : t -> int * int * int
 (** (allowed, blocked, prompted) counts over the log; a prompt counts as
     prompted regardless of the user's answer.  O(1): counters are
     maintained incrementally by {!process}. *)
+
+val reconcile : t -> (unit, string) result
+(** Cross-checks the three tallies of the same decision stream: the O(1)
+    {!stats} counters, a recount of the event log, and — when [?obs] was
+    active at {!create} — the
+    [leakdetect_monitor_decisions_total{decision=...}] obs counters.
+    [Error] describes the first disagreement found.  The obs comparison
+    assumes this monitor is the only writer of that metric family in its
+    registry. *)

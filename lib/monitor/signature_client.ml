@@ -1,5 +1,6 @@
 module Prng = Leakdetect_util.Prng
 module Signature = Leakdetect_core.Signature
+module Obs = Leakdetect_obs.Obs
 
 type health = Healthy | Degraded | Stale
 
@@ -30,6 +31,7 @@ type staleness = { failed_syncs : int; failed_attempts : int; version_gap : int 
 type t = {
   config : config;
   rng : Prng.t;
+  obs : Obs.t;
   mutable version : int;
   mutable signatures : Signature.t list;
   mutable health : health;
@@ -39,12 +41,13 @@ type t = {
   mutable last_error : string option;
 }
 
-let create ?(config = default_config) ?(seed = 0) () =
+let create ?(config = default_config) ?(obs = Obs.noop) ?(seed = 0) () =
   if config.max_attempts < 1 then invalid_arg "Signature_client: max_attempts < 1";
   if config.stale_after < 1 then invalid_arg "Signature_client: stale_after < 1";
   {
     config;
     rng = Prng.create seed;
+    obs;
     version = 0;
     signatures = [];
     health = Healthy;
@@ -54,9 +57,9 @@ let create ?(config = default_config) ?(seed = 0) () =
     last_error = None;
   }
 
-let restore ?config ?seed ~version ~signatures ~health () =
+let restore ?config ?obs ?seed ~version ~signatures ~health () =
   if version < 0 then invalid_arg "Signature_client.restore: version < 0";
-  let t = create ?config ?seed () in
+  let t = create ?config ?obs ?seed () in
   t.version <- version;
   t.signatures <- signatures;
   t.health <- health;
@@ -91,7 +94,43 @@ let backoff_ticks t ~attempt =
   let base = min t.config.max_backoff (t.config.base_backoff lsl exp) in
   base + if t.config.jitter > 0 then Prng.int t.rng (t.config.jitter + 1) else 0
 
+(* 0 = healthy, 1 = degraded, 2 = stale — the metric encoding of [health]. *)
+let health_rank = function Healthy -> 0 | Degraded -> 1 | Stale -> 2
+
+let record_sync t report =
+  let obs = t.obs in
+  if not (Obs.is_noop obs) then begin
+    let outcome_label =
+      match report.outcome with
+      | Updated _ -> "updated"
+      | Unchanged -> "unchanged"
+      | Failed _ -> "failed"
+    in
+    Obs.Counter.inc
+      (Obs.counter obs ~help:"Completed sync rounds, by outcome."
+         ~labels:[ ("outcome", outcome_label) ]
+         "leakdetect_client_syncs_total");
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Fetch attempts made by the sync retry loop."
+         "leakdetect_client_sync_attempts_total")
+      report.attempts;
+    Obs.Counter.add
+      (Obs.counter obs ~help:"Backoff ticks accumulated across syncs."
+         "leakdetect_client_backoff_ticks_total")
+      report.waited;
+    Obs.Gauge.set
+      (Obs.gauge obs ~help:"Last-known-good signature version on the device."
+         "leakdetect_client_version")
+      t.version;
+    Obs.Gauge.set
+      (Obs.gauge obs
+         ~help:"Client health: 0 healthy, 1 degraded, 2 stale."
+         "leakdetect_client_health")
+      (health_rank t.health)
+  end
+
 let sync t ~fetch =
+  Obs.with_span t.obs "client.sync" @@ fun () ->
   let rec attempt k waited =
     match fetch ~since:t.version with
     | Ok payload ->
@@ -117,4 +156,6 @@ let sync t ~fetch =
       end
       else attempt (k + 1) (waited + backoff_ticks t ~attempt:k)
   in
-  attempt 1 0
+  let report = attempt 1 0 in
+  record_sync t report;
+  report

@@ -44,12 +44,16 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?seed:int -> unit -> t
+val create : ?config:config -> ?obs:Leakdetect_obs.Obs.t -> ?seed:int -> unit -> t
 (** [create ()] starts at version 0 with no signatures and [Healthy]
-    health.  [seed] (default 0) drives the backoff jitter only. *)
+    health.  [seed] (default 0) drives the backoff jitter only.  [?obs]
+    (default noop) records per-sync counters
+    ([leakdetect_client_syncs_total{outcome}], attempt and backoff-tick
+    totals) and the version / health gauges, plus a [client.sync] span. *)
 
 val restore :
   ?config:config ->
+  ?obs:Leakdetect_obs.Obs.t ->
   ?seed:int ->
   version:int ->
   signatures:Leakdetect_core.Signature.t list ->

@@ -1,31 +1,69 @@
 module Http = Leakdetect_http
 module Signature = Leakdetect_core.Signature
 module Signature_io = Leakdetect_core.Signature_io
+module Leak_error = Leakdetect_util.Leak_error
+module Obs = Leakdetect_obs.Obs
 
-type t = { mutable version : int; mutable signatures : Signature.t list }
+type t = {
+  mutable version : int;
+  mutable signatures : Signature.t list;
+  obs : Obs.t;
+}
 
-let create () = { version = 0; signatures = [] }
+let set_gauges t =
+  Obs.Gauge.set
+    (Obs.gauge t.obs ~help:"Currently published signature-set version."
+       "leakdetect_server_version")
+    t.version;
+  Obs.Gauge.set
+    (Obs.gauge t.obs ~help:"Signatures in the published set."
+       "leakdetect_server_signatures")
+    (List.length t.signatures)
 
-let restore ~version ~signatures =
+let create ?(obs = Obs.noop) () = { version = 0; signatures = []; obs }
+
+let restore ?(obs = Obs.noop) ~version ~signatures () =
   if version < 0 then invalid_arg "Signature_server.restore: version < 0";
-  { version; signatures }
+  let t = { version; signatures; obs } in
+  set_gauges t;
+  t
 
 let publish t signatures =
   t.version <- t.version + 1;
   t.signatures <- signatures;
+  Obs.Counter.inc
+    (Obs.counter t.obs ~help:"Signature sets published."
+       "leakdetect_server_publishes_total");
+  set_gauges t;
   t.version
 
 let current_version t = t.version
 let signatures t = t.signatures
 let endpoint = "/signatures"
+let metrics_endpoint = "/metrics"
 
 let body_of t =
   String.concat "\n" (List.map Signature_io.to_line t.signatures)
 
+let respond t response =
+  Obs.Counter.inc
+    (Obs.counter t.obs ~help:"HTTP requests served, by status code."
+       ~labels:[ ("code", string_of_int response.Http.Response.status) ]
+       "leakdetect_server_requests_total");
+  response
+
 let handle t (request : Http.Request.t) =
   let path, _ = Leakdetect_net.Url.split_path_query request.Http.Request.target in
+  respond t
+  @@
   if request.Http.Request.meth <> Http.Request.GET then
     Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "GET") ]) 405
+  else if path = metrics_endpoint then
+    Http.Response.make
+      ~headers:
+        (Http.Headers.of_list
+           [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ])
+      ~body:(Obs.to_prometheus t.obs) 200
   else if path <> endpoint then Http.Response.make 404
   else begin
     let since =
@@ -96,7 +134,10 @@ let fetch_via ~transport ~since =
             in
             (match parse_all [] lines with
             | Ok signatures -> Ok (Some (version, signatures))
-            | Error e -> Error ("bad signature line: " ^ e)))
+            | Error e ->
+              Error ("bad signature line: " ^ Leak_error.to_string e)))
         | status -> Error (Printf.sprintf "unexpected status %d" status))))
 
 let fetch t ~since = fetch_via ~transport:(wire_transport t) ~since
+
+let metrics_body t = Obs.to_prometheus t.obs

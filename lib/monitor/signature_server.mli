@@ -9,9 +9,16 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Leakdetect_obs.Obs.t -> unit -> t
+(** [?obs] (default noop) is the registry the server both feeds (request /
+    publish counters, version gauges) and serves on [GET /metrics]. *)
 
-val restore : version:int -> signatures:Leakdetect_core.Signature.t list -> t
+val restore :
+  ?obs:Leakdetect_obs.Obs.t ->
+  version:int ->
+  signatures:Leakdetect_core.Signature.t list ->
+  unit ->
+  t
 (** Rebuild a server from recovered durable state ({!Leakdetect_store}):
     the next {!publish} continues from [version + 1].
     @raise Invalid_argument on a negative version. *)
@@ -28,13 +35,21 @@ val signatures : t -> Leakdetect_core.Signature.t list
 val endpoint : string
 (** Request path, ["/signatures"]. *)
 
+val metrics_endpoint : string
+(** Request path, ["/metrics"]: Prometheus text exposition (format 0.0.4)
+    of the server's registry.  With a noop registry the body is empty but
+    the endpoint still answers 200. *)
+
 val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
 (** [GET /signatures?since=V]:
     - [200] with version header and signature body when [V] is older than
       the current version;
     - [304] when the device is up to date;
     - [400] on a malformed request, [404] on unknown paths, [405] (with an
-      [Allow: GET] header) for non-GET methods. *)
+      [Allow: GET] header) for non-GET methods.
+
+    [GET /metrics] scrapes the registry (see {!metrics_endpoint}).  Every
+    response increments [leakdetect_server_requests_total{code=...}]. *)
 
 val wire_transport : t -> string -> (string, string) result
 (** The loss-free transport: parses the printed request bytes, runs
@@ -53,3 +68,7 @@ val fetch_via :
 val fetch :
   t -> since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result
 (** [fetch_via] over the server's own {!wire_transport}. *)
+
+val metrics_body : t -> string
+(** The exposition the [/metrics] endpoint serves, without going through
+    HTTP — convenient for dumping a scrape to a file. *)

@@ -24,8 +24,11 @@ type job = {
   make_body : unit -> int -> int -> unit;
 }
 
+module Obs = Leakdetect_obs.Obs
+
 type t = {
   jobs : int;
+  obs : Obs.t;
   lock : Mutex.t;
   work_cond : Condition.t;
   done_cond : Condition.t;
@@ -91,12 +94,17 @@ let worker_loop t =
     end
   done
 
-let create jobs =
+let create ?(obs = Obs.noop) jobs =
   if jobs > 1024 then invalid_arg "Pool.create: more than 1024 jobs";
   let jobs = max 1 jobs in
+  Obs.Gauge.set
+    (Obs.gauge obs ~help:"Domains in the active pool, caller included."
+       "leakdetect_pool_size")
+    jobs;
   let t =
     {
       jobs;
+      obs;
       lock = Mutex.create ();
       work_cond = Condition.create ();
       done_cond = Condition.create ();
@@ -138,12 +146,28 @@ let sequential ~init n f =
     done
   end
 
+let count_job t ~mode ~chunks =
+  if not (Obs.is_noop t.obs) then begin
+    Obs.Counter.inc
+      (Obs.counter t.obs ~help:"Jobs submitted to the pool, by execution mode."
+         ~labels:[ ("mode", mode) ]
+         "leakdetect_pool_jobs_total");
+    Obs.Counter.add
+      (Obs.counter t.obs ~help:"Chunks claimed across all parallel jobs."
+         "leakdetect_pool_chunks_total")
+      chunks
+  end
+
 let run_job t ~chunk ~init n f =
   if t.closed then invalid_arg "Pool: used after shutdown";
   let chunk = match chunk with Some c -> max 1 c | None -> default_chunk ~jobs:t.jobs n in
   let n_chunks = (n + chunk - 1) / chunk in
-  if n_chunks <= 1 || t.jobs = 1 then sequential ~init n f
+  if n_chunks <= 1 || t.jobs = 1 then begin
+    count_job t ~mode:"sequential" ~chunks:0;
+    sequential ~init n f
+  end
   else begin
+    count_job t ~mode:"parallel" ~chunks:n_chunks;
     if not (Atomic.compare_and_set t.busy false true) then
       invalid_arg "Pool: concurrent or nested job submission";
     let job =
@@ -205,10 +229,10 @@ let parallel_init ~pool ?chunk n f =
 let parallel_map_array ~pool ?chunk f a =
   parallel_init ~pool ?chunk (Array.length a) (fun i -> f a.(i))
 
-let with_pool jobs f =
+let with_pool ?obs jobs f =
   if jobs <= 1 then f None
   else begin
-    let t = create jobs in
+    let t = create ?obs jobs in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))
   end
 

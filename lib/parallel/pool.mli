@@ -21,10 +21,12 @@
 
 type t
 
-val create : int -> t
+val create : ?obs:Leakdetect_obs.Obs.t -> int -> t
 (** [create jobs] spawns [jobs - 1] worker domains (the submitting domain
     is always the [jobs]-th participant).  [jobs] is clamped below at 1; a
-    1-job pool runs everything sequentially on the caller.
+    1-job pool runs everything sequentially on the caller.  [?obs]
+    (default noop) records the pool-size gauge and the per-job submission
+    and chunk counters ([leakdetect_pool_*]) — per job, never per index.
     @raise Invalid_argument when [jobs] exceeds 1024. *)
 
 val size : t -> int
@@ -34,7 +36,7 @@ val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  Using the pool afterwards
     raises [Invalid_argument]. *)
 
-val with_pool : int -> (t option -> 'a) -> 'a
+val with_pool : ?obs:Leakdetect_obs.Obs.t -> int -> (t option -> 'a) -> 'a
 (** [with_pool jobs f] runs [f (Some pool)] with a fresh pool — or
     [f None] when [jobs <= 1], spawning nothing — and shuts the pool down
     afterwards, exceptions included. *)

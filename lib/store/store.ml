@@ -2,6 +2,7 @@ module Signature = Leakdetect_core.Signature
 module Signature_io = Leakdetect_core.Signature_io
 module Signature_client = Leakdetect_monitor.Signature_client
 module Signature_server = Leakdetect_monitor.Signature_server
+module Obs = Leakdetect_obs.Obs
 
 (* --- entries --- *)
 
@@ -28,7 +29,8 @@ let parse_signatures lines =
     | line :: rest -> (
       match Signature_io.of_line line with
       | Ok s -> loop (s :: acc) rest
-      | Error e -> Error ("bad signature line: " ^ e))
+      | Error e ->
+        Error ("bad signature line: " ^ Leakdetect_util.Leak_error.to_string e))
   in
   loop [] lines
 
@@ -170,7 +172,18 @@ let report_to_string r =
 
 (* --- the store --- *)
 
-type t = { dir : string; mutable writer : Wal.writer; mutable state : state }
+type t = {
+  dir : string;
+  mutable writer : Wal.writer;
+  mutable state : state;
+  obs : Obs.t;
+}
+
+let set_wal_size_gauge t =
+  Obs.Gauge.set
+    (Obs.gauge t.obs ~help:"Bytes in the WAL, header included."
+       "leakdetect_store_wal_size_bytes")
+    (Wal.size t.writer)
 
 let wal_path ~dir = Filename.concat dir "wal.log"
 let snapshot_path ~dir = Filename.concat dir "snapshot"
@@ -184,7 +197,7 @@ let ensure_dir dir =
     | () -> Ok ()
     | exception Sys_error e -> Error e
 
-let open_ ~dir =
+let open_ ?(obs = Obs.noop) ~dir () =
   match ensure_dir dir with
   | Error _ as e -> e
   | Ok () -> (
@@ -231,23 +244,44 @@ let open_ ~dir =
       match Wal.open_append wal with
       | Error _ as e -> e
       | Ok writer ->
-        ( { dir; writer; state },
-          { snapshot; replayed; stale; undecodable; tail } )
-        |> Result.ok))
+        let t = { dir; writer; state; obs } in
+        Obs.Counter.add
+          (Obs.counter obs ~help:"WAL entries applied during recovery."
+             "leakdetect_store_replayed_entries_total")
+          replayed;
+        set_wal_size_gauge t;
+        Ok (t, { snapshot; replayed; stale; undecodable; tail })))
 
 let state t = t.state
 let wal_size t = Wal.size t.writer
 
 let log t entry =
-  Wal.append t.writer (entry_to_payload entry);
-  t.state <- apply t.state entry
+  let payload = entry_to_payload entry in
+  Wal.append t.writer payload;
+  t.state <- apply t.state entry;
+  if not (Obs.is_noop t.obs) then begin
+    Obs.Counter.inc
+      (Obs.counter t.obs ~help:"Entries appended to the WAL."
+         "leakdetect_store_wal_appends_total");
+    Obs.Histogram.observe
+      (Obs.histogram t.obs ~help:"WAL entry payload sizes."
+         ~buckets:Obs.size_buckets "leakdetect_store_wal_append_bytes")
+      (float_of_int (String.length payload));
+    set_wal_size_gauge t
+  end
 
 let compact t =
   Snapshot.write (snapshot_path ~dir:t.dir) (state_to_string t.state);
   (* Crash window here: new snapshot + old log.  Replay is idempotent, so
      recovery lands on the same state. *)
   Wal.close t.writer;
-  t.writer <- Wal.create (wal_path ~dir:t.dir)
+  t.writer <- Wal.create (wal_path ~dir:t.dir);
+  if not (Obs.is_noop t.obs) then begin
+    Obs.Counter.inc
+      (Obs.counter t.obs ~help:"Snapshot compactions performed."
+         "leakdetect_store_snapshots_total");
+    set_wal_size_gauge t
+  end
 
 let close t = Wal.close t.writer
 
@@ -268,10 +302,12 @@ let record_sync t client =
   let health = Signature_client.health client in
   if health <> t.state.client_health then log t (Health health)
 
-let restore_server t =
-  Signature_server.restore ~version:t.state.server_version
-    ~signatures:t.state.server_signatures
+let restore_server ?obs t =
+  let obs = Option.value obs ~default:t.obs in
+  Signature_server.restore ~obs ~version:t.state.server_version
+    ~signatures:t.state.server_signatures ()
 
-let restore_client ?config ?seed t =
-  Signature_client.restore ?config ?seed ~version:t.state.client_version
+let restore_client ?config ?obs ?seed t =
+  let obs = Option.value obs ~default:t.obs in
+  Signature_client.restore ?config ~obs ?seed ~version:t.state.client_version
     ~signatures:t.state.client_signatures ~health:t.state.client_health ()

@@ -94,11 +94,16 @@ type t
 val wal_path : dir:string -> string
 val snapshot_path : dir:string -> string
 
-val open_ : dir:string -> (t * report, string) result
+val open_ :
+  ?obs:Leakdetect_obs.Obs.t -> dir:string -> unit -> (t * report, string) result
 (** Recover (creating [dir] and an empty log as needed) and open for
     appending.  A torn WAL tail is truncated on disk so later appends
     extend a clean log.  [Error] only when the directory is unusable or
-    the WAL header itself is damaged. *)
+    the WAL header itself is damaged.
+
+    [?obs] (default noop) records the [leakdetect_store_*] families: WAL
+    appends and payload sizes, the current WAL size, snapshot compactions
+    and recovery replays. *)
 
 val state : t -> state
 val wal_size : t -> int
@@ -126,9 +131,15 @@ val record_sync : t -> Signature_client.t -> unit
 (** Log the client's last-known-good set and, when it changed, its
     health (call right after [Signature_client.sync]). *)
 
-val restore_server : t -> Signature_server.t
-(** A server continuing from the recovered published state. *)
+val restore_server : ?obs:Leakdetect_obs.Obs.t -> t -> Signature_server.t
+(** A server continuing from the recovered published state; its registry
+    defaults to the store's. *)
 
 val restore_client :
-  ?config:Signature_client.config -> ?seed:int -> t -> Signature_client.t
-(** A client continuing from the recovered last-known-good state. *)
+  ?config:Signature_client.config ->
+  ?obs:Leakdetect_obs.Obs.t ->
+  ?seed:int ->
+  t ->
+  Signature_client.t
+(** A client continuing from the recovered last-known-good state; its
+    registry defaults to the store's. *)

@@ -242,7 +242,7 @@ let group_b i =
 let test_siggen_two_groups () =
   let sample = Array.init 12 (fun i -> if i < 6 then group_a i else group_b i) in
   let dist = Distance.create () in
-  let result = Siggen.generate Siggen.default dist sample in
+  let result = Siggen.generate dist sample in
   Alcotest.(check bool) "at least two clusters" true (List.length result.Siggen.clusters >= 2);
   Alcotest.(check bool) "signatures produced" true (result.Siggen.signatures <> []);
   (* Soundness: every signature matches all packets of its own cluster. *)
@@ -258,23 +258,25 @@ let test_siggen_two_groups () =
 
 let test_siggen_empty_sample () =
   let dist = Distance.create () in
-  let r = Siggen.generate Siggen.default dist [||] in
+  let r = Siggen.generate dist [||] in
   Alcotest.(check int) "no signatures" 0 (List.length r.Siggen.signatures);
   Alcotest.(check bool) "no dendrogram" true (r.Siggen.dendrogram = None)
 
 let test_siggen_cut_count () =
   let sample = Array.init 8 (fun i -> if i < 4 then group_a i else group_b i) in
   let dist = Distance.create () in
-  let config = { Siggen.default with Siggen.cut = Siggen.Count 4 } in
-  let r = Siggen.generate config dist sample in
+  let config = Pipeline.Config.(default |> with_cut (Count 4)) in
+  let r = Siggen.generate ~config dist sample in
   Alcotest.(check bool) "at least 4 clusters" true (List.length r.Siggen.clusters >= 4)
 
 let test_siggen_every_merge () =
   let sample = Array.init 10 (fun i -> if i < 5 then group_a i else group_b i) in
   let dist = Distance.create () in
-  let auto = Siggen.generate Siggen.default dist sample in
+  let auto = Siggen.generate dist sample in
   let every =
-    Siggen.generate { Siggen.default with Siggen.cut = Siggen.Every_merge } dist sample
+    Siggen.generate
+      ~config:Pipeline.Config.(default |> with_cut Every_merge)
+      dist sample
   in
   (* Every internal node is a candidate: n-1 clusters for n packets. *)
   Alcotest.(check int) "n-1 candidate clusters" 9 (List.length every.Siggen.clusters);
@@ -290,8 +292,8 @@ let test_siggen_rejects_degenerate () =
   let p1 = mk ~host:"a.example.jp" ~rline:"GET /qqqq HTTP/1.1" () in
   let p2 = mk ~host:"a.example.jp" ~rline:"GET /zzzz HTTP/1.1" () in
   let dist = Distance.create () in
-  let config = { Siggen.default with Siggen.cut = Siggen.Threshold 10. } in
-  let r = Siggen.generate config dist [| p1; p2 |] in
+  let config = Pipeline.Config.(default |> with_cut (Threshold 10.)) in
+  let r = Siggen.generate ~config dist [| p1; p2 |] in
   Alcotest.(check (list string)) "no signature survives" []
     (List.concat_map (fun s -> s.Signature.tokens) r.Siggen.signatures);
   Alcotest.(check int) "rejection counted" 1 r.Siggen.rejected

@@ -112,7 +112,8 @@ let test_signature_io_roundtrip () =
       [ "imei=3550"; "tab\there"; "newline\nthere" ]
   in
   match Signature_io.of_line (Signature_io.to_line s) with
-  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Error e ->
+    Alcotest.failf "roundtrip failed: %s" (Leakdetect_util.Leak_error.to_string e)
   | Ok s' ->
     Alcotest.(check int) "id" s.Signature.id s'.Signature.id;
     Alcotest.(check int) "cluster" s.Signature.cluster_size s'.Signature.cluster_size;
@@ -229,7 +230,7 @@ let test_obfuscated_leaks_cluster_and_detect () =
       Obfuscation.leak_packet rng device ~package:(Printf.sprintf "jp.co.app%d" (i mod 5)))
   in
   let dist = Distance.create () in
-  let result = Leakdetect_core.Siggen.generate Leakdetect_core.Siggen.default dist leaks in
+  let result = Leakdetect_core.Siggen.generate dist leaks in
   Alcotest.(check bool) "signatures emerge from ciphertext" true
     (result.Leakdetect_core.Siggen.signatures <> []);
   let detector = Leakdetect_core.Detector.create result.Leakdetect_core.Siggen.signatures in

@@ -47,7 +47,7 @@ let test_signatures_sound_on_sample () =
   let rng = Prng.create 9 in
   let sample = Leakdetect_util.Sample.without_replacement rng 150 suspicious in
   let dist = Distance.create () in
-  let result = Siggen.generate Siggen.default dist sample in
+  let result = Siggen.generate dist sample in
   let sigs = Array.of_list result.Siggen.signatures in
   (* Signatures are numbered in cut order over accepted clusters; walk the
      clusters and check the accepted ones in order. *)

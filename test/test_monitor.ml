@@ -85,6 +85,39 @@ let test_flow_log_and_stats () =
   let allowed, blocked, prompted = Flow_control.stats m in
   Alcotest.(check (list int)) "stats" [ 2; 0; 1 ] [ allowed; blocked; prompted ]
 
+let test_flow_reconcile () =
+  (* Without a registry the log recount is the only cross-check. *)
+  let m = Flow_control.create signatures in
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  Alcotest.(check bool) "reconciles without obs" true
+    (Flow_control.reconcile m = Ok ());
+  (* With an active registry the obs counters join the comparison and the
+     three tallies of the same decision stream must agree. *)
+  let obs = Leakdetect_obs.Obs.create () in
+  let m = Flow_control.create ~obs signatures in
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  ignore (Flow_control.process m ~app_id:2 (leak_packet ()));
+  ignore (Flow_control.process m ~app_id:1 (mk ()));
+  (match Flow_control.reconcile m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reconcile: %s" e);
+  let count decision =
+    Leakdetect_obs.Obs.Counter.value
+      (Leakdetect_obs.Obs.counter obs
+         ~labels:[ ("decision", decision) ]
+         "leakdetect_monitor_decisions_total")
+  in
+  Alcotest.(check (list int)) "obs counters mirror stats" [ 2; 0; 1 ]
+    [ count "allowed"; count "blocked"; count "prompted" ];
+  (* An out-of-band bump to the obs family is exactly the disagreement
+     reconcile exists to catch. *)
+  Leakdetect_obs.Obs.Counter.inc
+    (Leakdetect_obs.Obs.counter obs
+       ~labels:[ ("decision", "blocked") ]
+       "leakdetect_monitor_decisions_total");
+  Alcotest.(check bool) "drift detected" true
+    (Result.is_error (Flow_control.reconcile m))
+
 let test_flow_signature_update () =
   let m = Flow_control.create [] in
   Alcotest.(check string) "no signatures, everything passes" "allowed"
@@ -305,6 +338,7 @@ let suite =
         Alcotest.test_case "prompt callback" `Quick test_flow_prompt_callback;
         Alcotest.test_case "block rule" `Quick test_flow_block_rule;
         Alcotest.test_case "log and stats" `Quick test_flow_log_and_stats;
+        Alcotest.test_case "stats reconcile" `Quick test_flow_reconcile;
         Alcotest.test_case "signature update" `Quick test_flow_signature_update;
         Alcotest.test_case "match view" `Quick test_signature_match_view;
       ] );

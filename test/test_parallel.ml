@@ -220,7 +220,7 @@ let prop_detect_bitmap_jobs_equivalence =
             ~body:"ak=aabb&u=9f8e7d" ();
         |]
       in
-      let gen = Siggen.generate Siggen.default (Distance.create ()) sample in
+      let gen = Siggen.generate (Distance.create ()) sample in
       let det = Detector.create gen.Siggen.signatures in
       let seq = Detector.detect_bitmap det packets in
       let par = Pool.with_pool 4 (fun pool -> Detector.detect_bitmap ?pool det packets) in

@@ -295,7 +295,7 @@ let log_some store =
 let test_store_reopen () =
   with_dir (fun dir ->
       let store, report =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       Alcotest.(check bool) "fresh dir has no snapshot" true
         (report.Store.snapshot = Store.Absent);
@@ -303,7 +303,7 @@ let test_store_reopen () =
       let live = Store.state store in
       Store.close store;
       let store', report' =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       Alcotest.(check int) "all entries replayed" 4 report'.Store.replayed;
       Alcotest.(check int) "nothing undecodable" 0 report'.Store.undecodable;
@@ -315,7 +315,7 @@ let test_store_reopen () =
 let test_store_compact_reopen () =
   with_dir (fun dir ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       log_some store;
       let live = Store.state store in
@@ -324,7 +324,7 @@ let test_store_compact_reopen () =
         (String.length Wal.magic) (Store.wal_size store);
       Store.close store;
       let store', report =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       Alcotest.(check bool) "snapshot loaded" true
         (report.Store.snapshot = Store.Loaded);
@@ -339,7 +339,7 @@ let test_store_compact_reopen () =
 let test_store_compact_crash_window () =
   with_dir (fun dir ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       log_some store;
       let live = Store.state store in
@@ -347,7 +347,7 @@ let test_store_compact_crash_window () =
       Store.close store;
       (* Old wal.log still holds all four entries. *)
       let store', report =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       Alcotest.(check bool) "snapshot loaded" true
         (report.Store.snapshot = Store.Loaded);
@@ -360,7 +360,7 @@ let test_store_compact_crash_window () =
 let test_store_corrupt_snapshot_falls_back () =
   with_dir (fun dir ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       log_some store;
       Store.compact store;
@@ -369,7 +369,7 @@ let test_store_corrupt_snapshot_falls_back () =
       Store.close store;
       spit (Store.snapshot_path ~dir) "garbage, not a snapshot";
       let store', report =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       (match report.Store.snapshot with
       | Store.Corrupt _ -> ()
@@ -385,7 +385,7 @@ let test_store_corrupt_snapshot_falls_back () =
 let test_store_torn_tail_truncated () =
   with_dir (fun dir ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       log_some store;
       let live = Store.state store in
@@ -394,7 +394,7 @@ let test_store_torn_tail_truncated () =
       let image = slurp wal in
       spit wal (image ^ "torn garbage that is not a full frame");
       let store', report =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       (match report.Store.tail with
       | Wal.Torn _ -> ()
@@ -405,7 +405,7 @@ let test_store_torn_tail_truncated () =
       Store.log store' (Store.Health Signature_client.Healthy);
       Store.close store';
       let store'', report'' =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       Alcotest.(check bool) "clean after repair" true
         (report''.Store.tail = Wal.Clean);
@@ -417,7 +417,7 @@ let test_store_torn_tail_truncated () =
 let test_store_restore_endpoints () =
   with_dir (fun dir ->
       let store, _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       let server = Signature_server.create () in
       let (_ : int) = Signature_server.publish server sigs_a in
@@ -432,7 +432,7 @@ let test_store_restore_endpoints () =
       Store.record_sync store client;
       Store.close store;
       let store', _ =
-        match Store.open_ ~dir with Ok v -> v | Error e -> Alcotest.fail e
+        match Store.open_ ~dir () with Ok v -> v | Error e -> Alcotest.fail e
       in
       let server' = Store.restore_server store' in
       Alcotest.(check int) "server version restored"
