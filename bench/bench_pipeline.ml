@@ -29,6 +29,7 @@ module Compressor = Leakdetect_compress.Compressor
 module Dist_matrix = Leakdetect_cluster.Dist_matrix
 module Pool = Leakdetect_parallel.Pool
 module Obs = Leakdetect_obs.Obs
+module Normalize = Leakdetect_normalize.Normalize
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -250,11 +251,49 @@ let bench_obs_overhead () =
          ("active_seconds", Json.Float active_seconds);
          ("overhead_pct", Json.Float overhead_pct) ])
 
+(* --- normalization overhead and off-gate identity ------------------------ *)
+
+let bench_normalize_overhead () =
+  Printf.printf "\n-- canonicalization lattice (off-gate identity, enabled cost) --\n%!";
+  let n = if quick then 40 else 300 in
+  let run config = Pipeline.run ~config ~rng:(Prng.create (7 + n)) ~n ~suspicious ~normal () in
+  ignore (run Pipeline.Config.default);
+  let off_outcome, off_seconds = time (fun () -> run Pipeline.Config.default) in
+  let explicit_off =
+    run (Pipeline.Config.with_normalize None Pipeline.Config.default)
+  in
+  let normalize = Normalize.create () in
+  let on_outcome, on_seconds =
+    time (fun () ->
+        run (Pipeline.Config.with_normalize (Some normalize) Pipeline.Config.default))
+  in
+  check "normalize-off explicit None identical to default"
+    (serialize_signatures off_outcome.Pipeline.signatures
+     = serialize_signatures explicit_off.Pipeline.signatures
+    && compare off_outcome.Pipeline.metrics explicit_off.Pipeline.metrics = 0);
+  check "normalize-on signatures identical to off"
+    (serialize_signatures off_outcome.Pipeline.signatures
+    = serialize_signatures on_outcome.Pipeline.signatures);
+  (* On clean (never re-encoded) traffic the lattice may only add matches,
+     never lose one: recall must not drop with normalization enabled. *)
+  check "normalize-on recall >= off"
+    (on_outcome.Pipeline.metrics.Metrics.true_positive
+    >= off_outcome.Pipeline.metrics.Metrics.true_positive);
+  let overhead_pct = 100. *. (on_seconds -. off_seconds) /. off_seconds in
+  Printf.printf "  N=%-4d off %7.3fs  on %7.3fs  overhead %+.2f%%\n%!" n off_seconds
+    on_seconds overhead_pct;
+  record "normalize_overhead"
+    (Json.Obj
+       [ ("n", Json.Int n); ("off_seconds", Json.Float off_seconds);
+         ("on_seconds", Json.Float on_seconds);
+         ("overhead_pct", Json.Float overhead_pct) ])
+
 let () =
   bench_matrix ();
   bench_detection ();
   bench_end_to_end ();
   bench_obs_overhead ();
+  bench_normalize_overhead ();
   let doc =
     Json.Obj
       (("quick", Json.Bool quick)

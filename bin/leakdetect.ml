@@ -9,7 +9,9 @@
      monitor    replay a trace through the on-device flow-control app
      chaos      fault-injection soak over the ingest/distribute/enforce path,
                 including crash/recover trials against the durable store
-     store      recover and inspect a durable signature-state directory *)
+     store      recover and inspect a durable signature-state directory
+     evade      adversarial mutation replay: per-mutator recall with and
+                without the canonicalization lattice *)
 
 open Cmdliner
 
@@ -41,6 +43,10 @@ module Payload_check = Leakdetect_core.Payload_check
 module Request = Leakdetect_http.Request
 module Response = Leakdetect_http.Response
 module Obs = Leakdetect_obs.Obs
+module Normalize = Leakdetect_normalize.Normalize
+module Mutator = Leakdetect_adversary.Mutator
+module Harness = Leakdetect_adversary.Harness
+module Json = Leakdetect_util.Json
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -79,6 +85,16 @@ let jobs_t =
             "Worker domains for the parallel phases (distance matrix, whole-trace \
              detection).  1 forces the sequential path; results are identical for \
              every value.  Default: the machine's recommended domain count.")
+
+let normalize_t =
+  Arg.(value & flag
+      & info [ "normalize" ]
+          ~doc:
+            "Match over the bounded canonicalization lattice (percent / base64 / \
+             hex / case-fold / chunked decoded views) in addition to the raw \
+             bytes, so re-encoded leaks are still caught.")
+
+let normalize_of ?obs flag = if flag then Some (Normalize.create ?obs ()) else None
 
 let sniff_binary path =
   let ic = open_in_bin path in
@@ -399,23 +415,29 @@ let cluster_cmd =
 (* --- detect --- *)
 
 let detect_cmd =
-  let run seed scale trace sig_file jobs verbose =
+  let run seed scale trace sig_file jobs verbose normalize =
     let records = load_records ~trace ~seed ~scale in
     let signatures = load_signatures sig_file in
     let detector = Detector.create signatures in
+    let normalize = normalize_of normalize in
     let packets = Array.map (fun r -> r.Trace.packet) records in
     let bitmap =
-      Pool.with_pool jobs (fun pool -> Detector.detect_bitmap ?pool detector packets)
+      Pool.with_pool jobs (fun pool ->
+          Detector.detect_bitmap ?pool ?normalize detector packets)
     in
     let detected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bitmap in
     if verbose then
       Array.iteri
         (fun i r ->
           if bitmap.(i) then
-            match Detector.first_match detector r.Trace.packet with
-            | Some s ->
-              Printf.printf "app %d -> %s matched signature #%d\n" r.Trace.app_id
+            match Detector.first_match_normalized ?normalize detector r.Trace.packet with
+            | Some (s, steps) ->
+              Printf.printf "app %d -> %s matched signature #%d%s\n" r.Trace.app_id
                 r.Trace.packet.Packet.dst.Packet.host s.Signature.id
+                (match steps with
+                | [] -> ""
+                | steps ->
+                  " via " ^ String.concat "+" (List.map Normalize.step_name steps))
             | None -> ())
         records;
     Printf.printf "%d of %d packets matched %d signatures\n" detected
@@ -431,18 +453,22 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Apply a signature file to a trace.")
-    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ jobs_t $ verbose)
+    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ jobs_t $ verbose
+          $ normalize_t)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run () seed scale trace ns compressor linkage cut jobs bayes =
+  let run () seed scale trace ns compressor linkage cut jobs bayes normalize =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, normal = split_records records in
     Printf.printf "dataset: %d suspicious, %d normal%s\n\n" (Array.length suspicious)
       (Array.length normal)
       (if bayes then " (probabilistic signatures)" else "");
-    let config = config_of ~compressor ~linkage ~cut in
+    let config =
+      Pipeline.Config.with_normalize (normalize_of normalize)
+        (config_of ~compressor ~linkage ~cut)
+    in
     let rows =
       Pool.with_pool jobs (fun pool ->
           List.map
@@ -483,15 +509,18 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Run the full pipeline and report the paper's TP/FN/FP metrics.")
     Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ ns $ compressor_t
-          $ linkage_t $ cut_t $ jobs_t $ bayes)
+          $ linkage_t $ cut_t $ jobs_t $ bayes $ normalize_t)
 
 (* --- monitor --- *)
 
 let monitor_cmd =
-  let run seed scale trace sig_file limit =
+  let run seed scale trace sig_file limit normalize =
     let records = load_records ~trace ~seed ~scale in
     let signatures = load_signatures sig_file in
-    let monitor = Leakdetect_monitor.Flow_control.create signatures in
+    let monitor =
+      Leakdetect_monitor.Flow_control.create ?normalize:(normalize_of normalize)
+        signatures
+    in
     let n = min limit (Array.length records) in
     for i = 0 to n - 1 do
       let r = records.(i) in
@@ -516,7 +545,7 @@ let monitor_cmd =
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay a trace through the on-device information-flow-control application.")
-    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ limit)
+    Term.(const run $ seed_t $ scale_t $ trace_t $ sig_file $ limit $ normalize_t)
 
 (* --- chaos --- *)
 
@@ -1036,8 +1065,9 @@ let stats_json_string obs =
 
 let trace_cmd =
   let run () seed scale trace n compressor linkage cut jobs limit syncs metrics_out
-      stats_json =
+      stats_json normalize =
     let obs = Obs.create () in
+    let normalize = normalize_of ~obs normalize in
     (* When generating the workload we also hold the ground-truth payload
        checker, so the payload_check family populates; a loaded trace file
        carries labels instead and skips that stage. *)
@@ -1056,7 +1086,10 @@ let trace_cmd =
     | None -> ());
     let suspicious, normal = split_records records in
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
-    let config = Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut) in
+    let config =
+      Pipeline.Config.with_normalize normalize
+        (Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut))
+    in
     let outcome =
       Pool.with_pool ~obs jobs (fun pool ->
           Pipeline.run
@@ -1104,7 +1137,9 @@ let trace_cmd =
 
     (* Enforcement: replay through the monitor, then cross-check the O(1)
        stats against the event log and the obs counters. *)
-    let monitor = Flow_control.create ~obs (Signature_client.signatures client) in
+    let monitor =
+      Flow_control.create ~obs ?normalize (Signature_client.signatures client)
+    in
     let replayed = min limit (Array.length records) in
     for i = 0 to replayed - 1 do
       let r = records.(i) in
@@ -1183,13 +1218,112 @@ let trace_cmd =
           the /metrics endpoint.")
     Term.(const run $ setup_log_t $ seed_t $ scale_small $ trace_t $ n_small
           $ compressor_t $ linkage_t $ cut_t $ jobs_t $ limit $ syncs $ metrics_out
-          $ stats_json)
+          $ stats_json $ normalize_t)
+
+(* --- evade --- *)
+
+let evade_cmd =
+  let run () seed scale rates mutators depth sample_n json_out recall_floor metrics_out
+      =
+    let mutators =
+      match mutators with
+      | [] -> Mutator.all
+      | names ->
+        List.map
+          (fun name ->
+            match Mutator.by_name name with
+            | Some m -> m
+            | None ->
+              exit_err "unknown mutator %S (known: %s)" name
+                (String.concat ", " (Mutator.names ())))
+          names
+    in
+    if rates = [] then exit_err "need at least one --rates value";
+    List.iter
+      (fun r -> if r < 0.0 || r > 1.0 then exit_err "rate %g outside [0, 1]" r)
+      rates;
+    let obs = if metrics_out = None then Obs.noop else Obs.create () in
+    let budgets = { Normalize.default_budgets with Normalize.max_depth = depth } in
+    let report = Harness.run ~obs ~budgets ~mutators ~rates ~seed ~scale ~sample_n () in
+    print_string (Harness.render report);
+    (match json_out with
+    | Some "-" -> print_endline (Json.to_string_pretty (Harness.to_json report))
+    | Some path ->
+      spit path (Json.to_string_pretty (Harness.to_json report));
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    (match metrics_out with
+    | Some "-" -> print_string (Obs.to_prometheus obs)
+    | Some path ->
+      spit path (Obs.to_prometheus obs);
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    match recall_floor with
+    | Some floor when Harness.floor_recall report < floor ->
+      exit_err "recall floor violated: %.3f < %.3f over decodable mutations"
+        (Harness.floor_recall report) floor
+    | _ -> ()
+  in
+  let scale_small =
+    Arg.(value & opt float 0.05
+        & info [ "scale" ] ~docv:"SCALE" ~doc:"Traffic scale factor (evade default 0.05).")
+  in
+  let rates =
+    Arg.(value
+        & opt (list float) [ 0.5; 1.0 ]
+        & info [ "rates" ] ~docv:"R1,R2,..."
+            ~doc:"Mutation rates: fraction of leak packets rewritten per cell.")
+  in
+  let mutators =
+    Arg.(value
+        & opt (list string) []
+        & info [ "mutators" ] ~docv:"NAME,..."
+            ~doc:"Mutators to replay (default: the full catalogue).")
+  in
+  let depth =
+    Arg.(value & opt int Normalize.default_budgets.Normalize.max_depth
+        & info [ "depth" ] ~docv:"N" ~doc:"Lattice decode-depth budget.")
+  in
+  let sample_n =
+    Arg.(value & opt int 300
+        & info [ "sample" ] ~docv:"N"
+            ~doc:"Suspicious packets sampled for signature generation.")
+  in
+  let json_out =
+    Arg.(value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the full report as JSON to FILE; $(b,-) prints to stdout.")
+  in
+  let recall_floor =
+    Arg.(value
+        & opt (some float) None
+        & info [ "recall-floor" ] ~docv:"R"
+            ~doc:
+              "Exit non-zero unless every single-layer decodable mutation keeps \
+               normalized recall >= R.")
+  in
+  let metrics_out =
+    Arg.(value
+        & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Run with an active metrics registry and write the Prometheus scrape \
+               to FILE; $(b,-) prints to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "evade"
+       ~doc:
+         "Replay ground-truth leaks through the evasion-mutator catalogue and \
+          report per-mutator recall with and without canonicalization.")
+    Term.(const run $ setup_log_t $ seed_t $ scale_small $ rates $ mutators $ depth
+          $ sample_n $ json_out $ recall_floor $ metrics_out)
 
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
   Cmd.group
     (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
     [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
-      monitor_cmd; chaos_cmd; store_cmd; trace_cmd ]
+      monitor_cmd; chaos_cmd; store_cmd; trace_cmd; evade_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

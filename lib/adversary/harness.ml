@@ -1,0 +1,169 @@
+module Prng = Leakdetect_util.Prng
+module Json = Leakdetect_util.Json
+module Obs = Leakdetect_obs.Obs
+module Normalize = Leakdetect_normalize.Normalize
+module Detector = Leakdetect_core.Detector
+module Pipeline = Leakdetect_core.Pipeline
+module Workload = Leakdetect_android.Workload
+
+type cell = {
+  mutator : string;
+  class_ : Mutator.class_;
+  rate : float;
+  mutated : int;
+  raw_recall : float;
+  normalized_recall : float;
+  raw_fp : int;
+  normalized_fp : int;
+}
+
+type report = {
+  seed : int;
+  scale : float;
+  rates : float list;
+  n_leak : int;
+  n_normal : int;
+  n_signatures : int;
+  clean_recall : float;
+  clean_fp : int;
+  cells : cell list;
+}
+
+let floor_recall report =
+  List.fold_left
+    (fun acc c ->
+      if c.class_ = Mutator.Decodable then min acc c.normalized_recall else acc)
+    1.0 report.cells
+
+let fraction num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let run ?(obs = Obs.noop) ?budgets ?(mutators = Mutator.all) ?(rates = [ 0.5; 1.0 ])
+    ?(seed = 42) ?(scale = 0.05) ?sample_n () =
+  let dataset =
+    Obs.with_span obs "evade.generate" @@ fun () -> Workload.generate ~seed ~scale ()
+  in
+  let suspicious, normal = Workload.split dataset in
+  let outcome =
+    Obs.with_span obs "evade.siggen" @@ fun () ->
+    Pipeline.run ?n:sample_n ~rng:(Prng.create (seed + 1)) ~suspicious ~normal ()
+  in
+  let detector = Detector.create outcome.Pipeline.signatures in
+  let normalize = Normalize.create ~obs ?budgets () in
+  let n_leak = Array.length suspicious and n_normal = Array.length normal in
+  let clean_detected = Detector.count_detected detector suspicious in
+  let clean_fp = Detector.count_detected detector normal in
+  let mutated_counter m =
+    Obs.counter obs ~help:"Packets rewritten by an evasion mutator."
+      ~labels:[ ("mutator", m.Mutator.name) ]
+      "leakdetect_evade_mutated_total"
+  in
+  let detected_counter m mode =
+    Obs.counter obs ~help:"Mutated leak packets still detected."
+      ~labels:[ ("mutator", m.Mutator.name); ("mode", mode) ]
+      "leakdetect_evade_detected_total"
+  in
+  (* Each cell draws from its own PRNG, so adding a mutator or a rate never
+     shifts another cell's mutation schedule. *)
+  let cell_index = ref 0 in
+  let cells =
+    List.concat_map
+      (fun (m : Mutator.t) ->
+        List.map
+          (fun rate ->
+            let idx = !cell_index in
+            incr cell_index;
+            Obs.with_span obs ("evade.mutator." ^ m.Mutator.name) @@ fun () ->
+            let rng = Prng.create (seed + 7919 + (7907 * idx)) in
+            let mutated = ref 0 in
+            let mutate arr =
+              Array.map
+                (fun p ->
+                  if Prng.chance rng rate then begin
+                    incr mutated;
+                    m.Mutator.apply rng p
+                  end
+                  else p)
+                arr
+            in
+            let evading = mutate suspicious in
+            let leak_mutated = !mutated in
+            let benign = mutate normal in
+            let raw_hits = Detector.count_detected detector evading in
+            let norm_hits = Detector.count_detected ~normalize detector evading in
+            let raw_fp = Detector.count_detected detector benign in
+            let normalized_fp = Detector.count_detected ~normalize detector benign in
+            if not (Obs.is_noop obs) then begin
+              Obs.Counter.add (mutated_counter m) leak_mutated;
+              Obs.Counter.add (detected_counter m "raw") raw_hits;
+              Obs.Counter.add (detected_counter m "normalized") norm_hits
+            end;
+            {
+              mutator = m.Mutator.name;
+              class_ = m.Mutator.class_;
+              rate;
+              mutated = leak_mutated;
+              raw_recall = fraction raw_hits n_leak;
+              normalized_recall = fraction norm_hits n_leak;
+              raw_fp;
+              normalized_fp;
+            })
+          rates)
+      mutators
+  in
+  {
+    seed;
+    scale;
+    rates;
+    n_leak;
+    n_normal;
+    n_signatures = List.length outcome.Pipeline.signatures;
+    clean_recall = fraction clean_detected n_leak;
+    clean_fp;
+    cells;
+  }
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("mutator", Json.String c.mutator);
+      ("class", Json.String (Mutator.class_name c.class_));
+      ("rate", Json.Float c.rate);
+      ("mutated", Json.Int c.mutated);
+      ("raw_recall", Json.Float c.raw_recall);
+      ("normalized_recall", Json.Float c.normalized_recall);
+      ("raw_fp", Json.Int c.raw_fp);
+      ("normalized_fp", Json.Int c.normalized_fp);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("scale", Json.Float r.scale);
+      ("rates", Json.List (List.map (fun x -> Json.Float x) r.rates));
+      ("n_leak", Json.Int r.n_leak);
+      ("n_normal", Json.Int r.n_normal);
+      ("n_signatures", Json.Int r.n_signatures);
+      ("clean_recall", Json.Float r.clean_recall);
+      ("clean_fp", Json.Int r.clean_fp);
+      ("floor_recall", Json.Float (floor_recall r));
+      ("cells", Json.List (List.map cell_to_json r.cells));
+    ]
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "evade: seed %d, scale %g — %d leak / %d benign packets, %d signatures\n"
+    r.seed r.scale r.n_leak r.n_normal r.n_signatures;
+  Printf.bprintf buf "clean trace: recall %.3f, false positives %d\n\n" r.clean_recall
+    r.clean_fp;
+  Printf.bprintf buf "%-12s %-10s %5s %7s %8s %11s %6s %8s\n" "mutator" "class" "rate"
+    "mutated" "raw-rec" "norm-rec" "raw-fp" "norm-fp";
+  List.iter
+    (fun c ->
+      Printf.bprintf buf "%-12s %-10s %5.2f %7d %8.3f %11.3f %6d %8d\n" c.mutator
+        (Mutator.class_name c.class_) c.rate c.mutated c.raw_recall
+        c.normalized_recall c.raw_fp c.normalized_fp)
+    r.cells;
+  Printf.bprintf buf "\nrecall floor over decodable mutations: %.3f\n" (floor_recall r);
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** The adversarial replay harness.
+
+    One {!run} plays the paper's experiment against an adapting adversary:
+    generate signatures from clean ground-truth traffic, then re-send the
+    leaking packets through every evasion mutator at several mutation
+    rates and measure, per mutator and rate, how much recall survives —
+    once for the byte-exact legacy detector and once with the
+    canonicalization lattice enabled.  Benign traffic is mutated the same
+    way so the false-positive cost of canonicalization is measured, not
+    assumed.
+
+    Everything is seeded: the same [seed] replays the exact mutation
+    schedule. *)
+
+type cell = {
+  mutator : string;
+  class_ : Mutator.class_;
+  rate : float;  (** Fraction of ground-truth leak packets mutated. *)
+  mutated : int;  (** How many actually were. *)
+  raw_recall : float;  (** Detected leak fraction, legacy byte-exact scan. *)
+  normalized_recall : float;  (** Same trace, lattice enabled. *)
+  raw_fp : int;  (** Benign packets flagged, legacy scan. *)
+  normalized_fp : int;  (** Benign packets flagged, lattice enabled. *)
+}
+
+type report = {
+  seed : int;
+  scale : float;
+  rates : float list;
+  n_leak : int;  (** Ground-truth leak packets replayed per cell. *)
+  n_normal : int;  (** Benign packets replayed per cell. *)
+  n_signatures : int;
+  clean_recall : float;  (** Unmutated-trace recall (the paper's number). *)
+  clean_fp : int;
+  cells : cell list;  (** One per (mutator, rate), catalogue order. *)
+}
+
+val floor_recall : report -> float
+(** The worst [normalized_recall] over every {!Mutator.Decodable} cell —
+    the number the evade gate compares against its [--recall-floor].
+    [1.0] when no decodable cell exists. *)
+
+val run :
+  ?obs:Leakdetect_obs.Obs.t ->
+  ?budgets:Leakdetect_normalize.Normalize.budgets ->
+  ?mutators:Mutator.t list ->
+  ?rates:float list ->
+  ?seed:int ->
+  ?scale:float ->
+  ?sample_n:int ->
+  unit ->
+  report
+(** Defaults: the full {!Mutator.all} catalogue, rates [0.5; 1.0], seed 42,
+    scale 0.05 (fast but statistically meaningful), default lattice
+    budgets.  [sample_n] caps the suspicious packets sampled for signature
+    generation (the pipeline's N); the default is the pipeline's.  [obs] (default noop) wraps each phase in spans
+    ([evade.generate], [evade.mutator.<name>]) and feeds the
+    [leakdetect_evade_*] counter families. *)
+
+val to_json : report -> Leakdetect_util.Json.t
+val render : report -> string
+(** A plain-text table for the terminal. *)

@@ -49,6 +49,20 @@ let leak_packet rng device ~package =
   in
   post package body
 
+let leak_packet_b64url rng device ~package =
+  let plaintext =
+    Printf.sprintf "imei=%s&iccid=%s&aid=%s&n=%d" device.Device.imei
+      device.Device.sim_serial device.Device.android_id
+      (Prng.int rng 1_000_000_000)
+  in
+  (* URL-safe, unpadded: what a module calling android.util.Base64 with
+     URL_SAFE|NO_PADDING emits.  Same keystream, so the invariant
+     ciphertext prefix still re-encodes to an invariant substring. *)
+  let body =
+    Url.encode_query [ ("v", "2"); ("d", Base64.encode_url (xor_crypt plaintext)) ]
+  in
+  post package body
+
 let beacon_packet rng device ~package =
   ignore device;
   let body =

@@ -1,5 +1,6 @@
 module Packet = Leakdetect_http.Packet
 module Aho_corasick = Leakdetect_text.Aho_corasick
+module Normalize = Leakdetect_normalize.Normalize
 
 (* One automaton over the distinct tokens of every signature: detection is
    a single pass per packet followed by per-signature set membership.
@@ -87,10 +88,47 @@ let all_matches_content t content =
     done;
     !acc
 
-let first_match t packet = first_match_content t (Packet.content_string packet)
-let all_matches t packet = all_matches_content t (Packet.content_string packet)
+(* With a normalizer, the same shared automaton runs once per derived view;
+   the raw content is always scanned first so legacy matches keep their
+   attribution and the normalize-off path is untouched. *)
+let first_match_normalized ?normalize t packet =
+  let content = Packet.content_string packet in
+  match first_match_content t content with
+  | Some s -> Some (s, [])
+  | None -> (
+    match normalize with
+    | None -> None
+    | Some nz ->
+      List.find_map
+        (fun (v : Normalize.view) ->
+          Option.map
+            (fun s -> (s, v.Normalize.steps))
+            (first_match_content t v.Normalize.text))
+        (Normalize.lattice nz content).Normalize.derived)
 
-let detects t packet = Option.is_some (first_match t packet)
+let first_match ?normalize t packet =
+  Option.map fst (first_match_normalized ?normalize t packet)
+
+let all_matches ?normalize t packet =
+  let content = Packet.content_string packet in
+  match normalize with
+  | None -> all_matches_content t content
+  | Some nz ->
+    let seen = Hashtbl.create 8 in
+    List.concat_map
+      (fun text ->
+        List.filter
+          (fun (s : Signature.t) ->
+            if Hashtbl.mem seen s.Signature.id then false
+            else begin
+              Hashtbl.add seen s.Signature.id ();
+              true
+            end)
+          (all_matches_content t text))
+      (content :: List.map (fun (v : Normalize.view) -> v.Normalize.text)
+                    (Normalize.lattice nz content).Normalize.derived)
+
+let detects ?normalize t packet = Option.is_some (first_match ?normalize t packet)
 
 module Pool = Leakdetect_parallel.Pool
 module Obs = Leakdetect_obs.Obs
@@ -111,48 +149,63 @@ let record_scan obs ~packets ~hits ~elapsed_ns =
       (float_of_int elapsed_ns /. 1e9)
   end
 
-let detect_bitmap_raw ?pool t packets =
+let detect_bitmap_raw ?pool ?normalize t packets =
   match t.automaton with
   | None -> Array.make (Array.length packets) false
   | Some automaton ->
     let n_patterns = Aho_corasick.pattern_count automaton in
     let out = Array.make (Array.length packets) false in
-    (* The automaton and compiled matchers are immutable after [create];
-       each domain brings its own matched-set buffer, so the only shared
-       writes are to index-owned slots of [out]. *)
+    (* The automaton, compiled matchers and normalizer are immutable after
+       creation; each domain brings its own matched-set buffer, so the only
+       shared writes are to index-owned slots of [out]. *)
+    let hit_in scratch content =
+      Aho_corasick.matched_set_into automaton scratch content;
+      Option.is_some (first_entry t scratch content)
+    in
     Pool.parallel_for_with ~pool
       ~init:(fun () -> Array.make n_patterns false)
       (Array.length packets)
       (fun scratch i ->
         let content = Packet.content_string packets.(i) in
-        Aho_corasick.matched_set_into automaton scratch content;
-        out.(i) <- Option.is_some (first_entry t scratch content));
+        out.(i) <-
+          (hit_in scratch content
+          ||
+          match normalize with
+          | None -> false
+          | Some nz ->
+            List.exists
+              (fun (v : Normalize.view) -> hit_in scratch v.Normalize.text)
+              (Normalize.lattice nz content).Normalize.derived));
     out
 
 let count_bitmap bitmap =
   Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0 bitmap
 
-let detect_bitmap ?pool ?(obs = Obs.noop) t packets =
-  if Obs.is_noop obs then detect_bitmap_raw ?pool t packets
+let detect_bitmap ?pool ?(obs = Obs.noop) ?normalize t packets =
+  if Obs.is_noop obs then detect_bitmap_raw ?pool ?normalize t packets
   else
     Obs.with_span obs "detector.scan" @@ fun () ->
     let t0 = Obs.Clock.now_ns () in
-    let bitmap = detect_bitmap_raw ?pool t packets in
+    let bitmap = detect_bitmap_raw ?pool ?normalize t packets in
     record_scan obs ~packets:(Array.length packets) ~hits:(count_bitmap bitmap)
       ~elapsed_ns:(Obs.Clock.now_ns () - t0);
     bitmap
 
-let count_detected ?pool ?(obs = Obs.noop) t packets =
+let count_detected ?pool ?(obs = Obs.noop) ?normalize t packets =
   match (pool, Obs.is_noop obs) with
   | None, true ->
-    Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
+    Array.fold_left
+      (fun acc p -> if detects ?normalize t p then acc + 1 else acc)
+      0 packets
   | None, false ->
     Obs.with_span obs "detector.scan" @@ fun () ->
     let t0 = Obs.Clock.now_ns () in
     let hits =
-      Array.fold_left (fun acc p -> if detects t p then acc + 1 else acc) 0 packets
+      Array.fold_left
+        (fun acc p -> if detects ?normalize t p then acc + 1 else acc)
+        0 packets
     in
     record_scan obs ~packets:(Array.length packets) ~hits
       ~elapsed_ns:(Obs.Clock.now_ns () - t0);
     hits
-  | Some _, _ -> count_bitmap (detect_bitmap ?pool ~obs t packets)
+  | Some _, _ -> count_bitmap (detect_bitmap ?pool ~obs ?normalize t packets)

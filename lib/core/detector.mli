@@ -1,6 +1,13 @@
 (** The detection engine: applies a generated signature set to packets.
     This is what the paper's on-device information-flow-control application
-    runs against intercepted traffic (Fig. 3b). *)
+    runs against intercepted traffic (Fig. 3b).
+
+    All entry points accept an optional {!Leakdetect_normalize.Normalize.t}:
+    when present, every packet is matched against its raw content and then
+    against each derived view of the bounded canonicalization lattice, so a
+    re-encoded leak still hits the signature set.  The same shared
+    Aho-Corasick automaton scans every view; omitting [?normalize] is the
+    byte-identical legacy path. *)
 
 type t
 
@@ -8,34 +15,51 @@ val create : Signature.t list -> t
 val signatures : t -> Signature.t list
 val signature_count : t -> int
 
-val first_match : t -> Leakdetect_http.Packet.t -> Signature.t option
-(** The first signature (in id order) matching the packet. *)
+val first_match :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t -> Leakdetect_http.Packet.t -> Signature.t option
+(** The first signature (in id order) matching the packet; the raw content
+    is tried before any derived view. *)
 
-val all_matches : t -> Leakdetect_http.Packet.t -> Signature.t list
+val first_match_normalized :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t ->
+  Leakdetect_http.Packet.t ->
+  (Signature.t * Leakdetect_normalize.Normalize.step list) option
+(** Like {!first_match} but also reports the decode chain of the view that
+    matched ([[]] for the raw content), for evasion attribution. *)
+
+val all_matches :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t -> Leakdetect_http.Packet.t -> Signature.t list
 
 val first_match_content : t -> string -> Signature.t option
 (** {!first_match} over an already-materialized content string; both
     packet-level entry points are thin wrappers that materialize the
-    content once and delegate here. *)
+    content (and its views) and delegate here. *)
 
 val all_matches_content : t -> string -> Signature.t list
 
-val detects : t -> Leakdetect_http.Packet.t -> bool
+val detects :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t -> Leakdetect_http.Packet.t -> bool
 
 val count_detected :
   ?pool:Leakdetect_parallel.Pool.t ->
   ?obs:Leakdetect_obs.Obs.t ->
+  ?normalize:Leakdetect_normalize.Normalize.t ->
   t -> Leakdetect_http.Packet.t array -> int
 
 val detect_bitmap :
   ?pool:Leakdetect_parallel.Pool.t ->
   ?obs:Leakdetect_obs.Obs.t ->
+  ?normalize:Leakdetect_normalize.Normalize.t ->
   t -> Leakdetect_http.Packet.t array -> bool array
 (** Per-packet detection flags, aligned with the input array.  [?obs]
     (default noop) records a [detector.scan] span and the
     [leakdetect_detection_*] counters/histogram — per scan, not per packet,
     so the hot loop is untouched.  With
     [?pool], packets are scanned from several domains: the Aho-Corasick
-    automaton is shared read-only and every domain reuses a private
-    matched-set scratch buffer, so the bitmap is identical to the
-    sequential scan. *)
+    automaton (and the normalizer, which holds no per-call state) is shared
+    read-only and every domain reuses a private matched-set scratch buffer,
+    so the bitmap is identical to the sequential scan. *)

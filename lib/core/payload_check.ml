@@ -1,42 +1,118 @@
 module Search = Leakdetect_text.Search
 module Packet = Leakdetect_http.Packet
+module Hex = Leakdetect_util.Hex
+module Normalize = Leakdetect_normalize.Normalize
+
+type compiled_needle = {
+  pattern : Search.compiled;
+  fold : bool;  (* hex-digest needle, matched against folded content *)
+}
 
 type t = {
   needles : (Sensitive.kind * string) list;
-  compiled : (Sensitive.kind * Search.compiled) list;
+  compiled : (Sensitive.kind * compiled_needle) list;
 }
+
+(* MD5/SHA1 hex digests are transmitted in whichever case the ad module's
+   formatter picked, so digest-shaped needles match case-insensitively.
+   Raw identifiers (IMEI, IMSI, Android ID, carrier) stay byte-exact. *)
+let is_digest_needle n =
+  (String.length n = 32 || String.length n = 40) && Hex.is_hex n
 
 let create needles =
   List.iter
     (fun (_, n) ->
       if n = "" then invalid_arg "Payload_check.create: empty needle")
     needles;
-  { needles; compiled = List.map (fun (k, n) -> (k, Search.compile n)) needles }
+  {
+    needles;
+    compiled =
+      List.map
+        (fun (k, n) ->
+          if is_digest_needle n then
+            (k, { pattern = Search.compile (String.lowercase_ascii n); fold = true })
+          else (k, { pattern = Search.compile n; fold = false }))
+        needles;
+  }
 
 let needles t = t.needles
 
-let scan t packet =
-  let content = Packet.content_string packet in
-  List.fold_left
-    (fun acc (kind, pat) ->
-      if Search.matches pat content && not (List.exists (Sensitive.equal kind) acc)
-      then kind :: acc
-      else acc)
-    [] t.compiled
-  |> List.sort Sensitive.compare
+let needle_in_content cn ~content ~folded =
+  Search.matches cn.pattern (if cn.fold then Lazy.force folded else content)
 
-let is_sensitive t packet =
+type via = Raw | Folded | View of Normalize.step list
+
+let via_to_string = function
+  | Raw -> "raw"
+  | Folded -> "folded"
+  | View steps -> String.concat "+" (List.map Normalize.step_name steps)
+
+type verdict = { kind : Sensitive.kind; via : via }
+
+let content_views normalize content =
+  match normalize with
+  | None -> []
+  | Some nz -> (Normalize.lattice nz content).Normalize.derived
+
+let scan_verdicts ?normalize t packet =
   let content = Packet.content_string packet in
-  List.exists (fun (_, pat) -> Search.matches pat content) t.compiled
+  let folded = lazy (String.lowercase_ascii content) in
+  let views = lazy (content_views normalize content) in
+  let verdict_for (kind, cn) =
+    if Search.matches cn.pattern content then Some { kind; via = Raw }
+    else if cn.fold && Search.matches cn.pattern (Lazy.force folded) then
+      Some { kind; via = Folded }
+    else
+      List.find_map
+        (fun (v : Normalize.view) ->
+          let text = if cn.fold then String.lowercase_ascii v.Normalize.text else v.Normalize.text in
+          if Search.matches cn.pattern text then
+            Some { kind; via = View v.Normalize.steps }
+          else None)
+        (Lazy.force views)
+  in
+  List.filter_map verdict_for t.compiled
+  |> List.sort_uniq (fun a b -> Sensitive.compare a.kind b.kind)
+
+let scan ?normalize t packet =
+  match normalize with
+  | None ->
+    let content = Packet.content_string packet in
+    let folded = lazy (String.lowercase_ascii content) in
+    List.fold_left
+      (fun acc (kind, cn) ->
+        if needle_in_content cn ~content ~folded
+           && not (List.exists (Sensitive.equal kind) acc)
+        then kind :: acc
+        else acc)
+      [] t.compiled
+    |> List.sort Sensitive.compare
+  | Some _ -> List.map (fun v -> v.kind) (scan_verdicts ?normalize t packet)
+
+let is_sensitive ?normalize t packet =
+  let content = Packet.content_string packet in
+  let folded = lazy (String.lowercase_ascii content) in
+  List.exists (fun (_, cn) -> needle_in_content cn ~content ~folded) t.compiled
+  ||
+  match normalize with
+  | None -> false
+  | Some nz ->
+    List.exists
+      (fun (v : Normalize.view) ->
+        let folded = lazy (String.lowercase_ascii v.Normalize.text) in
+        List.exists
+          (fun (_, cn) -> needle_in_content cn ~content:v.Normalize.text ~folded)
+          t.compiled)
+      (Normalize.lattice nz content).Normalize.derived
 
 module Obs = Leakdetect_obs.Obs
 
-let split ?(obs = Obs.noop) t packets =
+let split ?(obs = Obs.noop) ?normalize t packets =
   Obs.with_span obs "payload_check.split" @@ fun () ->
   let suspicious = ref [] and normal = ref [] in
   Array.iter
     (fun p ->
-      if is_sensitive t p then suspicious := p :: !suspicious
+      if is_sensitive ?normalize t p then suspicious := p :: !suspicious
       else normal := p :: !normal)
     packets;
   let suspicious = Array.of_list (List.rev !suspicious)

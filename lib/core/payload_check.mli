@@ -6,7 +6,14 @@
     those values and for their MD5/SHA1 hex digests.  The needle table is
     supplied by the caller (the Android device model provides one via
     [Leakdetect_android.Device.needles]), keeping this module independent of
-    how identifiers are obtained. *)
+    how identifiers are obtained.
+
+    Digest-shaped needles (32/40 hex characters) match case-insensitively —
+    ad modules emit digests in either case — while raw identifiers stay
+    byte-exact.  An optional {!Leakdetect_normalize.Normalize.t} extends
+    the scan over the bounded lattice of decoded views, so re-encoded
+    (percent/base64/hex/chunked) leaks are still classified as sensitive;
+    without it, behavior is the legacy raw-byte scan. *)
 
 type t
 
@@ -17,14 +24,40 @@ val create : (Sensitive.kind * string) list -> t
 
 val needles : t -> (Sensitive.kind * string) list
 
-val scan : t -> Leakdetect_http.Packet.t -> Sensitive.kind list
+(** How a needle was found: in the raw bytes, in the case-folded content
+    (digest needles only), or in a derived view reached by a decode chain. *)
+type via = Raw | Folded | View of Leakdetect_normalize.Normalize.step list
+
+val via_to_string : via -> string
+(** ["raw"], ["folded"], or the decode chain joined with [+]
+    (e.g. ["percent+base64"]). *)
+
+type verdict = { kind : Sensitive.kind; via : via }
+
+val scan_verdicts :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t ->
+  Leakdetect_http.Packet.t ->
+  verdict list
+(** Like {!scan} but each kind carries the view that matched it, so an
+    evasion report can attribute detections to decode chains.  For a kind
+    matched by several views, the earliest (raw first, then shallower
+    decode chains) wins. *)
+
+val scan :
+  ?normalize:Leakdetect_normalize.Normalize.t ->
+  t ->
+  Leakdetect_http.Packet.t ->
+  Sensitive.kind list
 (** The distinct kinds whose needle occurs in the packet content
     (request-line, cookie or body), in Table III order. *)
 
-val is_sensitive : t -> Leakdetect_http.Packet.t -> bool
+val is_sensitive :
+  ?normalize:Leakdetect_normalize.Normalize.t -> t -> Leakdetect_http.Packet.t -> bool
 
 val split :
   ?obs:Leakdetect_obs.Obs.t ->
+  ?normalize:Leakdetect_normalize.Normalize.t ->
   t ->
   Leakdetect_http.Packet.t array ->
   Leakdetect_http.Packet.t array * Leakdetect_http.Packet.t array

@@ -18,6 +18,7 @@ type config = Pipeline_config.t = {
   on_error : Config.on_error;
   sample_n : int;
   obs : Obs.t;
+  normalize : Leakdetect_normalize.Normalize.t option;
 }
 
 let default_config = Config.default
@@ -42,8 +43,11 @@ let run_instrumented config ~rng ~n ~suspicious ~normal =
   let dist = Config.distance config in
   let gen = Siggen.generate ~config dist sample in
   let detector = Detector.create gen.Siggen.signatures in
-  let sensitive_detected = Detector.count_detected ?pool ~obs detector suspicious in
-  let normal_detected = Detector.count_detected ?pool ~obs detector normal in
+  let normalize = config.normalize in
+  let sensitive_detected =
+    Detector.count_detected ?pool ~obs ?normalize detector suspicious
+  in
+  let normal_detected = Detector.count_detected ?pool ~obs ?normalize detector normal in
   let metrics =
     Metrics.compute
       {

@@ -17,6 +17,9 @@ type config = Pipeline_config.t = {
   on_error : Config.on_error;
   sample_n : int;
   obs : Leakdetect_obs.Obs.t;
+  normalize : Leakdetect_normalize.Normalize.t option;
+      (** Canonicalization lattice applied during detection (evasion
+          robustness); [None] is the legacy raw-byte path. *)
 }
 (** Equation on {!Pipeline_config.t}: pre-existing [Pipeline.default_config]
     record updates and [config.Pipeline.field] accesses keep compiling. *)

@@ -31,6 +31,7 @@ type t = {
   on_error : on_error;
   sample_n : int;
   obs : Obs.t;
+  normalize : Leakdetect_normalize.Normalize.t option;
 }
 
 let default =
@@ -44,6 +45,7 @@ let default =
     on_error = `Fail;
     sample_n = 500;
     obs = Obs.noop;
+    normalize = None;
   }
 
 let with_components components t = { t with components }
@@ -54,6 +56,7 @@ let with_siggen siggen t = { t with siggen }
 let with_pool pool t = { t with pool }
 let with_on_error on_error t = { t with on_error }
 let with_obs obs t = { t with obs }
+let with_normalize normalize t = { t with normalize }
 
 let with_sample_n sample_n t =
   if sample_n < 0 then invalid_arg "Pipeline.Config.with_sample_n: negative N";

@@ -48,6 +48,9 @@ type t = {
   obs : Leakdetect_obs.Obs.t;
       (** Observability registry; {!Leakdetect_obs.Obs.noop} (the default)
           disables instrumentation at one-branch cost. *)
+  normalize : Leakdetect_normalize.Normalize.t option;
+      (** Canonicalization lattice for evasion-robust matching; [None]
+          (the default) is the byte-identical legacy raw-byte path. *)
 }
 
 val default : t
@@ -60,6 +63,7 @@ val with_siggen : siggen -> t -> t
 val with_pool : Leakdetect_parallel.Pool.t option -> t -> t
 val with_on_error : on_error -> t -> t
 val with_obs : Leakdetect_obs.Obs.t -> t -> t
+val with_normalize : Leakdetect_normalize.Normalize.t option -> t -> t
 
 val with_sample_n : int -> t -> t
 (** @raise Invalid_argument when negative. *)

@@ -9,6 +9,7 @@ type kind =
   | Server_error
   | Crash
   | Torn_write
+  | Reencode
 
 let kind_name = function
   | Corrupt -> "corrupt"
@@ -19,9 +20,13 @@ let kind_name = function
   | Server_error -> "server-error"
   | Crash -> "crash"
   | Torn_write -> "torn-write"
+  | Reencode -> "reencode"
 
 let all_kinds =
-  [ Corrupt; Truncate; Drop; Duplicate; Delay; Server_error; Crash; Torn_write ]
+  [
+    Corrupt; Truncate; Drop; Duplicate; Delay; Server_error; Crash; Torn_write;
+    Reencode;
+  ]
 
 type config = {
   corrupt_rate : float;
@@ -34,6 +39,7 @@ type config = {
   server_error_rate : float;
   crash_rate : float;
   torn_write_rate : float;
+  reencode_rate : float;
 }
 
 let none =
@@ -48,6 +54,7 @@ let none =
     server_error_rate = 0.;
     crash_rate = 0.;
     torn_write_rate = 0.;
+    reencode_rate = 0.;
   }
 
 let default =
@@ -62,6 +69,10 @@ let default =
     server_error_rate = 0.2;
     crash_rate = 0.1;
     torn_write_rate = 0.05;
+    (* Off by default: transport re-encoding only matters to runs that
+       exercise the normalize-aware detector, and a nonzero rate here would
+       shift every seeded fault schedule. *)
+    reencode_rate = 0.;
   }
 
 type event = { seq : int; kind : kind; detail : string }
@@ -158,6 +169,18 @@ let torn_write t ~protect ~tail_start s =
       s ^ String.sub s tail_start dup
     end
   end
+
+(* Transport-level re-encoding: an intermediary percent-escapes the whole
+   payload.  Lossless (a single percent-decode restores it), so detection
+   with normalization enabled must still fire. *)
+let reencode_string t s =
+  if s <> "" && Prng.chance t.rng t.config.reencode_rate then begin
+    record t Reencode (Printf.sprintf "%d bytes percent-encoded" (String.length s));
+    let buf = Buffer.create (String.length s * 3) in
+    String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))) s;
+    Buffer.contents buf
+  end
+  else s
 
 type server_fate = Respond | Respond_delayed of int | Fail of int
 

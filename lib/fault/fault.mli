@@ -26,6 +26,9 @@ type kind =
       (** Committed storage bytes are damaged: a bit flip inside a committed
           record, or a tail record replayed (duplicated) by a half-applied
           rewrite. *)
+  | Reencode
+      (** A payload is losslessly re-encoded in transit (percent-escaped);
+          the bytes differ but a single decode restores them. *)
 
 val kind_name : kind -> string
 val all_kinds : kind list
@@ -41,6 +44,7 @@ type config = {
   server_error_rate : float;  (** Probability of a transient server error. *)
   crash_rate : float;  (** Probability a storage write is cut short. *)
   torn_write_rate : float;  (** Probability committed bytes get damaged. *)
+  reencode_rate : float;  (** Probability a payload is re-encoded in transit. *)
 }
 
 val none : config
@@ -81,6 +85,13 @@ val crash_point : plan -> len:int -> int option
     [0 <= n < len] — the process dies after [n] bytes of a [len]-byte
     write reach disk.  [None] (the write completes) otherwise, always at
     rate 0, and always when [len <= 0]. *)
+
+val reencode_string : plan -> string -> string
+(** Transport re-encoding injector: with probability [reencode_rate] the
+    whole payload is percent-escaped (every byte as [%XX]).  Unlike
+    {!corrupt_string} this is lossless — one percent-decode restores the
+    original — so a normalize-aware detector is expected to keep matching.
+    Identity on empty strings and at rate 0. *)
 
 val torn_write : plan -> protect:int -> tail_start:int -> string -> string
 (** Committed-bytes injector for a log image: with probability

@@ -56,13 +56,67 @@ let parse_header_lines ~limits lines =
               Ok (Headers.add headers name value)))
       (Ok Headers.empty) lines
 
+(* RFC 7230 §4.1 chunked bodies: [<hex-size>[;ext]\r\n<data>\r\n]* 0\r\n.
+   The reassembled body is bounded by [max_body]; a malformed chunk-size
+   line or truncated chunk data is a typed error.  Trailer fields after the
+   last chunk are ignored. *)
+let decode_chunked ~limits body =
+  let module Hex = Leakdetect_util.Hex in
+  let len = String.length body in
+  let buf = Buffer.create (min len 1024) in
+  let rec chunk pos =
+    match String.index_from_opt body pos '\n' with
+    | None -> Error (Syntax "chunked: chunk-size line not CRLF-terminated")
+    | Some nl when nl = pos || body.[nl - 1] <> '\r' ->
+      Error (Syntax "chunked: chunk-size line not CRLF-terminated")
+    | Some nl -> (
+      let line = String.sub body pos (nl - 1 - pos) in
+      let size_part =
+        Leakdetect_util.Strutil.trim_spaces
+          (match String.index_opt line ';' with
+          | None -> line
+          | Some i -> String.sub line 0 i)
+      in
+      let size =
+        if size_part = "" || not (String.for_all (fun c -> Hex.nibble c <> None) size_part)
+        then None
+        else int_of_string_opt ("0x" ^ size_part)
+      in
+      match size with
+      | None -> Error (Syntax (Printf.sprintf "chunked: bad chunk-size line %S" line))
+      | Some 0 -> Ok (Buffer.contents buf)
+      | Some size ->
+        let data_start = nl + 1 in
+        if Buffer.length buf + size > limits.max_body then
+          Error (Body_too_large (Buffer.length buf + size))
+        else if data_start + size + 2 > len then
+          Error (Syntax "chunked: truncated chunk data")
+        else if body.[data_start + size] <> '\r' || body.[data_start + size + 1] <> '\n'
+        then Error (Syntax "chunked: chunk data not CRLF-terminated")
+        else begin
+          Buffer.add_substring buf body data_start size;
+          chunk (data_start + size + 2)
+        end)
+  in
+  chunk 0
+
+let is_chunked headers =
+  match Headers.get headers "Transfer-Encoding" with
+  | None -> None
+  | Some v ->
+    let last =
+      match List.rev (String.split_on_char ',' v) with
+      | last :: _ -> Leakdetect_util.Strutil.trim_spaces last
+      | [] -> ""
+    in
+    if String.lowercase_ascii last = "chunked" then Some () else None
+
 let parse ?(limits = default_limits) raw =
   match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n\r\n" raw with
   | [] -> Error (Syntax "empty input")
   | head :: rest ->
     let body = String.concat "\r\n\r\n" rest in
-    if String.length body > limits.max_body then Error (Body_too_large (String.length body))
-    else (
+    (
       match Leakdetect_util.Strutil.split_on_string ~sep:"\r\n" head with
       | [] | [ "" ] -> Error (Syntax "missing request line")
       | rline :: header_lines ->
@@ -73,5 +127,27 @@ let parse ?(limits = default_limits) raw =
           | Some meth -> (
             match parse_header_lines ~limits header_lines with
             | Error _ as e -> e
-            | Ok headers -> Ok (Request.make ~version ~headers ~body meth target)))
+            | Ok headers -> (
+              (* [max_body] bounds the payload the request carries: the raw
+                 body when identity-coded, the reassembled body when chunked
+                 (the framing itself only shrinks on decode). *)
+              match is_chunked headers with
+              | None ->
+                if String.length body > limits.max_body then
+                  Error (Body_too_large (String.length body))
+                else Ok (Request.make ~version ~headers ~body meth target)
+              | Some () -> (
+                match decode_chunked ~limits body with
+                | Error _ as e -> e
+                | Ok decoded ->
+                  (* The framing is consumed here, so the surviving request
+                     describes the payload it actually carries. *)
+                  let headers = Headers.remove headers "Transfer-Encoding" in
+                  let headers =
+                    if decoded = "" then Headers.remove headers "Content-Length"
+                    else
+                      Headers.replace headers "Content-Length"
+                        (string_of_int (String.length decoded))
+                  in
+                  Ok (Request.make ~version ~headers ~body:decoded meth target)))))
         | _ -> Error (Syntax (Printf.sprintf "malformed request line %S" rline))))

@@ -36,8 +36,12 @@ val print : Request.t -> string
 
 val parse : ?limits:limits -> string -> (Request.t, error) result
 (** Parses exactly one request.  The body is everything after the blank
-    line (no chunked encoding).  Errors describe the first offending
-    line or the first limit exceeded. *)
+    line; when the last [Transfer-Encoding] coding is [chunked] the chunks
+    are reassembled (under [max_body], trailers ignored) and the returned
+    request carries the decoded body with [Transfer-Encoding] removed and
+    [Content-Length] rewritten.  A malformed chunk-size line or truncated
+    chunk is a [Syntax] error.  Errors describe the first offending line
+    or the first limit exceeded. *)
 
 val parse_header_lines : limits:limits -> string list -> (Headers.t, error) result
 (** Shared header-block parser (also used by {!Response.parse}). *)

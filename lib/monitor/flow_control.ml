@@ -1,4 +1,5 @@
 module Detector = Leakdetect_core.Detector
+module Normalize = Leakdetect_normalize.Normalize
 module Obs = Leakdetect_obs.Obs
 
 type decision = Allowed | Blocked | Prompted of bool
@@ -31,6 +32,7 @@ type t = {
   prompt_counts : (int, int) Hashtbl.t;
   last_answers : (int, bool) Hashtbl.t;
   mutable detector : Detector.t;
+  normalize : Normalize.t option;
   mutable health : Signature_client.health;
   mutable events : event list;  (* newest first *)
   mutable next_seq : int;
@@ -53,7 +55,7 @@ let decision_counter obs label =
     "leakdetect_monitor_decisions_total"
 
 let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
-    ?(on_prompt = deny_all) ?(obs = Obs.noop) signatures =
+    ?(on_prompt = deny_all) ?(obs = Obs.noop) ?normalize signatures =
   {
     policy;
     prompt_budget;
@@ -62,6 +64,7 @@ let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
     prompt_counts = Hashtbl.create 16;
     last_answers = Hashtbl.create 16;
     detector = Detector.create signatures;
+    normalize;
     health = Signature_client.Healthy;
     events = [];
     next_seq = 0;
@@ -85,7 +88,10 @@ let fail_mode t = t.fail_mode
 
 let process t ~app_id packet =
   let matched =
-    Option.map Signature_match.of_signature (Detector.first_match t.detector packet)
+    Option.map
+      (fun (s, steps) ->
+        Signature_match.of_signature ~via:(List.map Normalize.step_name steps) s)
+      (Detector.first_match_normalized ?normalize:t.normalize t.detector packet)
   in
   let rule = Policy.rule_for t.policy ~app_id in
   let action =

@@ -38,6 +38,7 @@ val create :
   ?fail_mode:fail_mode ->
   ?on_prompt:(app_id:int -> Leakdetect_http.Packet.t -> Signature_match.t -> bool) ->
   ?obs:Leakdetect_obs.Obs.t ->
+  ?normalize:Leakdetect_normalize.Normalize.t ->
   Leakdetect_core.Signature.t list ->
   t
 (** [create signatures] builds a monitor with the default policy (prompt on
@@ -50,7 +51,12 @@ val create :
     unnecessary warnings" if prompts are unbounded).  Default: unlimited.
 
     [fail_mode] (default [Fail_open]) selects the degraded-feed behaviour;
-    it only takes effect when {!set_health} reports [Stale]. *)
+    it only takes effect when {!set_health} reports [Stale].
+
+    [normalize] extends matching over the canonicalization lattice, so
+    re-encoded leaks are still flagged; matched events then carry the
+    decode chain in {!Signature_match.t.via}.  Omitted, matching is the
+    legacy raw-byte scan. *)
 
 val set_health : t -> Signature_client.health -> unit
 (** Feed the monitor the signature client's health after each sync; while

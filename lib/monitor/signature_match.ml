@@ -1,12 +1,24 @@
-type t = { signature_id : int; tokens : string list; cluster_size : int }
+type t = {
+  signature_id : int;
+  tokens : string list;
+  cluster_size : int;
+  via : string list;
+}
 
-let of_signature (s : Leakdetect_core.Signature.t) =
+let of_signature ?(via = []) (s : Leakdetect_core.Signature.t) =
   {
     signature_id = s.Leakdetect_core.Signature.id;
     tokens = s.Leakdetect_core.Signature.tokens;
     cluster_size = s.Leakdetect_core.Signature.cluster_size;
+    via;
   }
 
+let via_to_string t =
+  match t.via with [] -> "raw" | steps -> String.concat "+" steps
+
 let pp ppf t =
-  Format.fprintf ppf "signature #%d (%d tokens, cluster of %d)" t.signature_id
+  Format.fprintf ppf "signature #%d (%d tokens, cluster of %d%s)" t.signature_id
     (List.length t.tokens) t.cluster_size
+    (match t.via with
+    | [] -> ""
+    | steps -> ", via " ^ String.concat "+" steps)

@@ -4,7 +4,16 @@ type t = {
   signature_id : int;
   tokens : string list;
   cluster_size : int;
+  via : string list;
+      (** The decode chain of the canonical view that matched
+          ({!Leakdetect_normalize.Normalize.step_name}s, outermost first);
+          [[]] means the raw bytes matched. *)
 }
 
-val of_signature : Leakdetect_core.Signature.t -> t
+val of_signature : ?via:string list -> Leakdetect_core.Signature.t -> t
+(** [via] defaults to [[]] (raw match). *)
+
+val via_to_string : t -> string
+(** ["raw"] or the decode chain joined with [+]. *)
+
 val pp : Format.formatter -> t -> unit

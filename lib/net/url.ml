@@ -42,6 +42,50 @@ let percent_decode s =
   in
   loop 0
 
+let percent_decode_strict s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec loop i =
+    if i = n then Some (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '%' ->
+        if i + 2 >= n then None
+        else (
+          match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+          | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+            loop (i + 3)
+          | _ -> None)
+      | c ->
+        Buffer.add_char buf c;
+        loop (i + 1)
+  in
+  loop 0
+
+let percent_decode_lenient s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let decoded = ref 0 in
+  let rec loop i =
+    if i = n then (Buffer.contents buf, !decoded)
+    else
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+        match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+        | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+          incr decoded;
+          loop (i + 3)
+        | _ ->
+          Buffer.add_char buf '%';
+          loop (i + 1))
+      | c ->
+        Buffer.add_char buf c;
+        loop (i + 1)
+  in
+  loop 0
+
 let encode_query params =
   String.concat "&"
     (List.map (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v) params)

@@ -10,6 +10,16 @@ val percent_decode : string -> string option
 (** Inverse of {!percent_encode}; also accepts [+] for space.  [None] on a
     malformed escape. *)
 
+val percent_decode_strict : string -> string option
+(** Like {!percent_decode} but leaves [+] untouched (path components, where
+    [+] is literal).  [None] on a malformed escape. *)
+
+val percent_decode_lenient : string -> string * int
+(** Best-effort decoding for the canonicalization lattice: every valid
+    [%XX] escape is decoded, malformed ones pass through literally, [+] is
+    left alone.  Returns the decoded string and the number of escapes
+    decoded (0 means the input came back unchanged). *)
+
 val encode_query : (string * string) list -> string
 (** [k1=v1&k2=v2...] with percent-encoded keys and values. *)
 

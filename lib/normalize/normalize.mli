@@ -1,0 +1,103 @@
+(** Bounded canonicalization lattice.
+
+    The paper's payload check and the generated signatures match raw bytes,
+    so a leak that is merely re-encoded — percent-escaped, base64'd,
+    hex-dumped, case-shifted, chunk-framed — evades both (the evasion class
+    Polygraph and Hamsa warn signature systems about).  This module derives
+    a small lattice of decoded views from one packet content: each view is
+    the content with one more decoding layer peeled off, and detection
+    simply scans every view with the same matcher it uses on the raw bytes.
+
+    Derivation is bounded by explicit budgets (decode depth, view count,
+    total derived bytes, single-view bytes) so adversarial inputs — decode
+    bombs, self-expanding escapes — degrade gracefully: the lattice stops
+    deriving, keeps the views it has, and reports which budget it hit as a
+    typed {!error} instead of diverging.  Views are deduplicated, so a
+    fixpoint (a text none of the decoders change) derives nothing and the
+    lattice is idempotent.
+
+    The default configuration is never active on its own: the pipeline
+    gates it behind [Pipeline.Config.normalize], which defaults to [None]
+    (byte-identical legacy behavior). *)
+
+(** One decoding layer.  Each step maps a text to at most one derived
+    view; inapplicable steps (nothing to decode) derive nothing. *)
+type step =
+  | Percent_strict  (** Decode [%XX] escapes; reject on a malformed escape. *)
+  | Percent_lenient
+      (** Decode every valid [%XX] escape, pass malformed ones through. *)
+  | Form_decode  (** [application/x-www-form-urlencoded]: [+] is space, [%XX] strict. *)
+  | Base64_std  (** Decode standard-alphabet base64 runs in place. *)
+  | Base64_url  (** Decode URL-safe-alphabet base64 runs in place. *)
+  | Hex_decode  (** Decode long even-length hex runs in place. *)
+  | Case_fold
+      (** Hex runs of >= 16 chars lowercased in place, so case-shifted
+          digests match while uppercase boilerplate survives. *)
+  | Chunked  (** Reassemble a [Transfer-Encoding: chunked] framed body. *)
+
+val all_steps : step list
+(** Every step, in derivation order. *)
+
+val step_name : step -> string
+val step_of_name : string -> step option
+
+type budgets = {
+  max_depth : int;  (** Decode layers below the root (default 3). *)
+  max_views : int;  (** Derived views per lattice (default 24). *)
+  max_total_bytes : int;  (** Sum of derived view sizes (default 1 MiB). *)
+  max_view_bytes : int;  (** Size of any single derived view (default 256 KiB). *)
+}
+
+val default_budgets : budgets
+
+type error =
+  | Depth_exhausted of int  (** A decodable view sat at [max_depth]. *)
+  | Views_exhausted of int  (** [max_views] reached with more to derive. *)
+  | Bytes_exhausted of int  (** [max_total_bytes] reached. *)
+  | View_too_large of int  (** A derived view exceeded [max_view_bytes]. *)
+(** Budget exhaustions, in the {!Leakdetect_util.Leak_error} style: typed,
+    carrying the offending quantity, renderable with {!error_to_string}.
+    An exhausted lattice is still usable — it simply stops deriving. *)
+
+val error_to_string : error -> string
+
+type view = {
+  text : string;
+  steps : step list;  (** Root-first decode chain that produced this view. *)
+}
+
+type lattice = {
+  root : string;
+  derived : view list;  (** Breadth-first derivation order, root excluded. *)
+  errors : error list;  (** Distinct budget exhaustions, oldest first. *)
+  failed_decodes : int;
+      (** Decode attempts that found decodable-looking material but could
+          not decode it (malformed escapes, bad base64 runs, ...). *)
+}
+
+type t
+(** A compiled normalizer: budgets, enabled steps and pre-interned obs
+    handles, reusable across packets and domains (it holds no per-call
+    mutable state). *)
+
+val create :
+  ?obs:Leakdetect_obs.Obs.t -> ?budgets:budgets -> ?steps:step list -> unit -> t
+(** [create ()] enables {!all_steps} under {!default_budgets} without
+    instrumentation.  With an active [obs], every derivation bumps
+    [leakdetect_normalize_views_total{step=...}], budget exhaustions bump
+    [leakdetect_normalize_errors_total{budget=...}], and failed decodes
+    bump [leakdetect_normalize_failed_decodes_total].
+    @raise Invalid_argument on empty [steps] or non-positive budgets. *)
+
+val budgets : t -> budgets
+val steps : t -> step list
+
+val lattice : t -> string -> lattice
+(** Derive the bounded lattice of decoded views of a text. *)
+
+val texts : t -> string -> string list
+(** The root followed by every derived view text — what the detector scans.
+    Always non-empty; equals [[root]] when the root is a fixpoint. *)
+
+val is_fixpoint : t -> string -> bool
+(** No decoder derives anything from this text. *)

@@ -119,6 +119,8 @@ let duration_buckets =
 
 let size_buckets = [ 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144.; 1048576.; 4194304. ]
 
+let ratio_buckets = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ]
+
 (* --- registry --- *)
 
 type kind = K_counter | K_gauge | K_histogram

@@ -89,6 +89,9 @@ val duration_buckets : float list
 val size_buckets : float list
 (** Default size buckets, in bytes: 64 B .. 4 MiB. *)
 
+val ratio_buckets : float list
+(** Buckets for rates in [0, 1] (recall, hit ratios): 0.1 .. 1.0. *)
+
 (** {1 Spans} *)
 
 module Span : sig

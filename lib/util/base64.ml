@@ -1,6 +1,7 @@
 let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+let alphabet_url = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
 
-let encode s =
+let encode_with ~alphabet ~pad s =
   let n = String.length s in
   let out = Buffer.create ((n + 2) / 3 * 4) in
   let emit_group b0 b1 b2 count =
@@ -8,9 +9,9 @@ let encode s =
     Buffer.add_char out alphabet.[(triple lsr 18) land 0x3f];
     Buffer.add_char out alphabet.[(triple lsr 12) land 0x3f];
     if count > 1 then Buffer.add_char out alphabet.[(triple lsr 6) land 0x3f]
-    else Buffer.add_char out '=';
+    else if pad then Buffer.add_char out '=';
     if count > 2 then Buffer.add_char out alphabet.[triple land 0x3f]
-    else Buffer.add_char out '='
+    else if pad then Buffer.add_char out '='
   in
   let i = ref 0 in
   while !i + 3 <= n do
@@ -23,44 +24,63 @@ let encode s =
   | _ -> ());
   Buffer.contents out
 
+let encode s = encode_with ~alphabet ~pad:true s
+let encode_url s = encode_with ~alphabet:alphabet_url ~pad:false s
+
 let value c =
   match c with
   | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
   | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
   | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
-  | '+' -> Some 62
-  | '/' -> Some 63
+  | '+' | '-' -> Some 62
+  | '/' | '_' -> Some 63
   | _ -> None
 
+(* Both alphabets share the first 62 digits; the last two decide which one
+   an input is written in.  Mixing them is rejected: no real encoder emits
+   both, so a mixed string is noise, not data. *)
 let decode s =
   let n = String.length s in
-  if n mod 4 <> 0 then None
-  else if n = 0 then Some ""
+  let pad = if n >= 1 && s.[n - 1] = '=' then if n >= 2 && s.[n - 2] = '=' then 2 else 1 else 0 in
+  let core = n - pad in
+  let valid_length =
+    (pad = 0 && core mod 4 <> 1) || (pad > 0 && (core + pad) mod 4 = 0 && core mod 4 >= 2)
+  in
+  if not valid_length then None
+  else if core = 0 then if pad = 0 then Some "" else None
   else begin
-    let padding =
-      if s.[n - 2] = '=' then 2 else if s.[n - 1] = '=' then 1 else 0
-    in
-    let out = Buffer.create (n / 4 * 3) in
+    let std = ref false and url = ref false in
     let ok = ref true in
-    let i = ref 0 in
-    while !ok && !i < n do
-      let group_padding = if !i + 4 = n then padding else 0 in
-      let digit k =
-        if k >= 4 - group_padding then Some 0
-        else value s.[!i + k]
-      in
-      (match (digit 0, digit 1, digit 2, digit 3) with
-      | Some a, Some b, Some c, Some d ->
-        let triple = (a lsl 18) lor (b lsl 12) lor (c lsl 6) lor d in
+    String.iteri
+      (fun i c ->
+        if i < core then (
+          (match c with
+          | '+' | '/' -> std := true
+          | '-' | '_' -> url := true
+          | _ -> ());
+          if Option.is_none (value c) then ok := false))
+      s;
+    if (not !ok) || (!std && !url) then None
+    else begin
+      let out = Buffer.create (core / 4 * 3 + 2) in
+      let i = ref 0 in
+      while !i + 4 <= core do
+        let d k = Option.get (value s.[!i + k]) in
+        let triple = (d 0 lsl 18) lor (d 1 lsl 12) lor (d 2 lsl 6) lor d 3 in
         Buffer.add_char out (Char.chr ((triple lsr 16) land 0xff));
-        if group_padding < 2 then Buffer.add_char out (Char.chr ((triple lsr 8) land 0xff));
-        if group_padding < 1 then Buffer.add_char out (Char.chr (triple land 0xff))
-      | _ -> ok := false);
-      i := !i + 4
-    done;
-    (* '=' may only appear in the final group. *)
-    let early_pad =
-      n > 4 && String.exists (fun c -> c = '=') (String.sub s 0 (n - 4))
-    in
-    if !ok && not early_pad then Some (Buffer.contents out) else None
+        Buffer.add_char out (Char.chr ((triple lsr 8) land 0xff));
+        Buffer.add_char out (Char.chr (triple land 0xff));
+        i := !i + 4
+      done;
+      (match core - !i with
+      | 2 ->
+        let d k = Option.get (value s.[!i + k]) in
+        Buffer.add_char out (Char.chr (((d 0 lsl 2) lor (d 1 lsr 4)) land 0xff))
+      | 3 ->
+        let d k = Option.get (value s.[!i + k]) in
+        Buffer.add_char out (Char.chr (((d 0 lsl 2) lor (d 1 lsr 4)) land 0xff));
+        Buffer.add_char out (Char.chr (((d 1 lsl 4) lor (d 2 lsr 2)) land 0xff))
+      | _ -> ());
+      Some (Buffer.contents out)
+    end
   end

@@ -2,10 +2,18 @@
     base64 package).  Used by the obfuscated-traffic experiment: ad modules
     that encrypt their payload with a fixed key still produce invariant
     ciphertext tokens, which the paper argues its signatures can catch
-    (Sec. VI). *)
+    (Sec. VI).  The decoder also feeds the canonicalization lattice, so it
+    accepts everything real ad-module traffic emits: padded or unpadded
+    input, in the standard or the URL-safe alphabet. *)
 
 val encode : string -> string
 (** Standard alphabet, with [=] padding. *)
 
+val encode_url : string -> string
+(** URL-safe alphabet ([-]/[_] for [+]/[/]), unpadded — the form JWTs and
+    query-embedded blobs use. *)
+
 val decode : string -> string option
-(** [None] on bad characters, bad padding or bad length. *)
+(** Decodes either alphabet, padded or unpadded.  [None] on bad characters,
+    a mixed alphabet ([+]/[/] together with [-]/[_]), misplaced padding or
+    an impossible length (length 1 mod 4 after stripping padding). *)

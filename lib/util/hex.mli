@@ -10,3 +10,6 @@ val decode : string -> string option
 val is_hex : string -> bool
 (** [is_hex s] is true when [s] is non-empty and all characters are hex
     digits. *)
+
+val nibble : char -> int option
+(** The value of one hex digit (either case), or [None]. *)

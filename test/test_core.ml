@@ -171,6 +171,43 @@ let test_payload_empty_needle () =
     (Invalid_argument "Payload_check.create: empty needle") (fun () ->
       ignore (Payload_check.create [ (Sensitive.Imei, "") ]))
 
+let percent_encode s =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%%%02X" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let test_payload_digest_case () =
+  let digest = "9b74c9897bac770ffc029102a200c5de" in
+  let check = Payload_check.create [ (Sensitive.Imei, digest) ] in
+  let upper = mk ~rline:("GET /t?h=" ^ String.uppercase_ascii digest ^ " HTTP/1.1") () in
+  Alcotest.(check bool) "digest needle matches either case" true
+    (Payload_check.is_sensitive check upper);
+  (match Payload_check.scan_verdicts check upper with
+  | [ { Payload_check.via = Payload_check.Folded; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one Folded verdict");
+  (* Raw identifiers stay byte-exact: a case difference is a different value. *)
+  let check_raw = Payload_check.create [ (Sensitive.Carrier, "NTTdocomo") ] in
+  let lower = mk ~rline:"GET /t?c=nttdocomo HTTP/1.1" () in
+  Alcotest.(check bool) "raw identifier stays byte-exact" false
+    (Payload_check.is_sensitive check_raw lower)
+
+let test_payload_normalize_recovers () =
+  let imei = "355021930123456" in
+  let check = Payload_check.create [ (Sensitive.Imei, imei) ] in
+  let p = mk ~rline:("GET /x?d=" ^ percent_encode imei ^ " HTTP/1.1") () in
+  Alcotest.(check bool) "legacy scan misses the re-encoded leak" false
+    (Payload_check.is_sensitive check p);
+  let normalize = Leakdetect_normalize.Normalize.create () in
+  Alcotest.(check bool) "lattice scan recovers it" true
+    (Payload_check.is_sensitive ~normalize check p);
+  match Payload_check.scan_verdicts ~normalize check p with
+  | [ { Payload_check.via = Payload_check.View steps; _ } ] ->
+    Alcotest.(check bool) "verdict names the decode chain" true
+      (steps <> []
+      && Leakdetect_text.Search.contains ~needle:"percent"
+           (Payload_check.via_to_string (Payload_check.View steps)))
+  | _ -> Alcotest.fail "expected one View verdict"
+
 (* --- Signature --- *)
 
 let test_signature_make_validation () =
@@ -319,6 +356,28 @@ let test_detector_all_matches () =
   let d = Detector.create [ s1; s2 ] in
   Alcotest.(check int) "both match" 2 (List.length (Detector.all_matches d (group_a 1)))
 
+let test_detector_normalize_reencoded () =
+  let token = "imei=355021930123456" in
+  let d =
+    Detector.create
+      [ Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:1 [ token ] ]
+  in
+  let p = mk ~rline:("GET /x?d=" ^ percent_encode token ^ " HTTP/1.1") () in
+  Alcotest.(check bool) "raw scan misses" false (Detector.detects d p);
+  let normalize = Leakdetect_normalize.Normalize.create () in
+  Alcotest.(check bool) "lattice scan hits" true (Detector.detects ~normalize d p);
+  (match Detector.first_match_normalized ~normalize d p with
+  | Some (_, steps) ->
+    Alcotest.(check bool) "attributed to a derived view" true (steps <> [])
+  | None -> Alcotest.fail "expected a match");
+  (* An unencoded hit is attributed to the raw content even with the
+     lattice enabled. *)
+  let clean = mk ~rline:("GET /x?" ^ token ^ " HTTP/1.1") () in
+  match Detector.first_match_normalized ~normalize d clean with
+  | Some (_, []) -> ()
+  | Some (_, _) -> Alcotest.fail "raw hit attributed to a view"
+  | None -> Alcotest.fail "expected a raw match"
+
 (* --- Metrics --- *)
 
 let test_metrics_paper_formulas () =
@@ -410,6 +469,39 @@ let prop_pipeline_counts_consistent =
          && List.length o.Pipeline.signatures <= List.length o.Pipeline.signatures
             + o.Pipeline.rejected_clusters))
 
+let test_pipeline_normalize_off_identity () =
+  (* The [normalize] knob defaults to off, and off must be byte-identical
+     to the legacy pipeline: same signatures, same metrics, whether the
+     field is left at its default or set to [None] explicitly. *)
+  let suspicious =
+    Array.init 40 (fun i -> if i mod 2 = 0 then group_a i else group_b i)
+  in
+  let normal =
+    Array.init 60 (fun i -> mk ~rline:(Printf.sprintf "GET /benign/%d HTTP/1.1" i) ())
+  in
+  let run config =
+    Pipeline.run ~config ~rng:(Leakdetect_util.Prng.create 99) ~n:20 ~suspicious
+      ~normal ()
+  in
+  let sig_strings o =
+    List.map (Format.asprintf "%a" Signature.pp) o.Pipeline.signatures
+  in
+  let default = run Pipeline.default_config in
+  let explicit = run (Pipeline.Config.with_normalize None Pipeline.default_config) in
+  Alcotest.(check (list string)) "same signatures" (sig_strings default)
+    (sig_strings explicit);
+  Alcotest.(check bool) "same metrics" true
+    (default.Pipeline.metrics = explicit.Pipeline.metrics);
+  (* Turning the lattice on may only add detections: signature generation
+     is untouched and recall is monotone. *)
+  let normalize = Leakdetect_normalize.Normalize.create () in
+  let on = run (Pipeline.Config.with_normalize (Some normalize) Pipeline.default_config) in
+  Alcotest.(check (list string)) "lattice leaves signatures alone"
+    (sig_strings default) (sig_strings on);
+  Alcotest.(check bool) "recall monotone under the lattice" true
+    (on.Pipeline.metrics.Metrics.true_positive
+    >= default.Pipeline.metrics.Metrics.true_positive)
+
 let test_pipeline_sweep () =
   let suspicious = Array.init 30 (fun i -> if i mod 2 = 0 then group_a i else group_b i) in
   let normal = Array.init 30 (fun i -> mk ~rline:(Printf.sprintf "GET /b/%d HTTP/1.1" i) ()) in
@@ -442,6 +534,9 @@ let suite =
         Alcotest.test_case "cookie and body scanned" `Quick test_payload_scan_in_cookie_and_body;
         Alcotest.test_case "split" `Quick test_payload_split;
         Alcotest.test_case "empty needle rejected" `Quick test_payload_empty_needle;
+        Alcotest.test_case "digest case folding" `Quick test_payload_digest_case;
+        Alcotest.test_case "normalize recovers re-encoded leak" `Quick
+          test_payload_normalize_recovers;
       ] );
     ( "core.signature",
       [
@@ -464,6 +559,8 @@ let suite =
       [
         Alcotest.test_case "basics" `Quick test_detector_basics;
         Alcotest.test_case "all matches" `Quick test_detector_all_matches;
+        Alcotest.test_case "normalized detection" `Quick
+          test_detector_normalize_reencoded;
       ] );
     ( "core.metrics",
       [
@@ -476,6 +573,8 @@ let suite =
       [
         Alcotest.test_case "end to end" `Quick test_pipeline_end_to_end;
         Alcotest.test_case "caps N" `Quick test_pipeline_caps_n;
+        Alcotest.test_case "normalize off is byte-identical" `Quick
+          test_pipeline_normalize_off_identity;
         Alcotest.test_case "sweep" `Quick test_pipeline_sweep;
         prop_pipeline_counts_consistent;
       ] );

@@ -103,6 +103,67 @@ let test_wire_parse_body_with_separator () =
   | Ok parsed -> Alcotest.(check string) "body intact" "x\r\n\r\ny" parsed.Request.body
   | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
 
+let chunked_raw ?(te = "chunked") body =
+  "POST /upload HTTP/1.1\r\nHost: x.jp\r\nTransfer-Encoding: " ^ te ^ "\r\n\r\n"
+  ^ body
+
+let test_wire_chunked_reassembly () =
+  let raw = chunked_raw "5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n" in
+  match Wire.parse raw with
+  | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
+  | Ok parsed ->
+    Alcotest.(check string) "body reassembled" "hello world" parsed.Request.body;
+    Alcotest.(check (option string)) "transfer-encoding consumed" None
+      (Headers.get parsed.Request.headers "Transfer-Encoding");
+    Alcotest.(check (option string)) "content-length rewritten" (Some "11")
+      (Headers.get parsed.Request.headers "Content-Length")
+
+let test_wire_chunked_trailers_ignored () =
+  let raw = chunked_raw "3\r\nabc\r\n0\r\nX-Trailer: 1\r\n\r\n" in
+  match Wire.parse raw with
+  | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
+  | Ok parsed -> Alcotest.(check string) "body" "abc" parsed.Request.body
+
+let test_wire_chunked_last_coding_only () =
+  (* Transfer-Encoding: gzip means the body is not chunk-framed; it must
+     pass through untouched. *)
+  let raw = chunked_raw ~te:"gzip" "not-chunks" in
+  match Wire.parse raw with
+  | Error e -> Alcotest.failf "parse failed: %s" (Wire.error_to_string e)
+  | Ok parsed ->
+    Alcotest.(check string) "body untouched" "not-chunks" parsed.Request.body;
+    Alcotest.(check (option string)) "header kept" (Some "gzip")
+      (Headers.get parsed.Request.headers "Transfer-Encoding")
+
+let test_wire_chunked_malformed () =
+  let is_syntax s =
+    match Wire.parse s with Error (Wire.Syntax _) -> true | _ -> false
+  in
+  Alcotest.(check bool) "bad chunk-size line" true
+    (is_syntax (chunked_raw "zz\r\nhello\r\n0\r\n\r\n"));
+  Alcotest.(check bool) "truncated chunk data" true
+    (is_syntax (chunked_raw "5\r\nhel"));
+  Alcotest.(check bool) "missing terminator" true
+    (is_syntax (chunked_raw "3\r\nabcXX0\r\n\r\n"));
+  Alcotest.(check bool) "no final chunk" true (is_syntax (chunked_raw "3\r\nabc\r\n"))
+
+let test_wire_chunked_max_body () =
+  (* The limit binds the reassembled body, not the framed wire form: four
+     5-byte chunks decode to 20 bytes against a 16-byte budget, even though
+     any single chunk fits. *)
+  let limits = { Wire.default_limits with Wire.max_body = 16 } in
+  let body =
+    String.concat "" (List.init 4 (fun _ -> "5\r\naaaaa\r\n")) ^ "0\r\n\r\n"
+  in
+  (match Wire.parse ~limits (chunked_raw body) with
+  | Error (Wire.Body_too_large n) ->
+    Alcotest.(check bool) "reports decoded size" true (n > 16)
+  | Ok _ | Error _ -> Alcotest.fail "expected Body_too_large");
+  (* A lying chunk size must not bypass the budget either. *)
+  match Wire.parse ~limits (chunked_raw "ffffff\r\nshort\r\n0\r\n\r\n") with
+  | Error (Wire.Body_too_large _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Body_too_large for huge declared size"
+
 (* --- Packet --- *)
 
 let sample_packet () =
@@ -421,6 +482,13 @@ let suite =
         Alcotest.test_case "parse roundtrip" `Quick test_wire_parse_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_wire_parse_errors;
         Alcotest.test_case "body with CRLFCRLF" `Quick test_wire_parse_body_with_separator;
+        Alcotest.test_case "chunked reassembly" `Quick test_wire_chunked_reassembly;
+        Alcotest.test_case "chunked trailers ignored" `Quick
+          test_wire_chunked_trailers_ignored;
+        Alcotest.test_case "chunked last coding only" `Quick
+          test_wire_chunked_last_coding_only;
+        Alcotest.test_case "chunked malformed" `Quick test_wire_chunked_malformed;
+        Alcotest.test_case "chunked max_body" `Quick test_wire_chunked_max_body;
       ] );
     ( "http.packet",
       [

@@ -6,4 +6,5 @@ let () =
    @ Test_net.suite @ Test_http.suite @ Test_cluster.suite @ Test_core.suite
    @ Test_android.suite @ Test_monitor.suite @ Test_baseline.suite
    @ Test_extensions.suite @ Test_fault.suite @ Test_store.suite
-   @ Test_parallel.suite @ Test_obs.suite @ Test_integration.suite)
+   @ Test_parallel.suite @ Test_obs.suite @ Test_normalize.suite
+   @ Test_adversary.suite @ Test_integration.suite)

@@ -1,0 +1,237 @@
+(* Tests for Leakdetect_normalize: the bounded canonicalization lattice. *)
+
+module Normalize = Leakdetect_normalize.Normalize
+module Base64 = Leakdetect_util.Base64
+module Hex = Leakdetect_util.Hex
+module Url = Leakdetect_net.Url
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let texts_of ?budgets ?steps s =
+  let t = Normalize.create ?budgets ?steps () in
+  Normalize.texts t s
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let any_view_contains ?budgets ?steps ~needle s =
+  List.exists (contains ~needle) (texts_of ?budgets ?steps s)
+
+(* --- single steps -------------------------------------------------------- *)
+
+let test_percent_view () =
+  let s = "GET /p?imei=%33%35%36%39%38%37 HTTP/1.1" in
+  Alcotest.(check bool) "percent view restores" true
+    (any_view_contains ~needle:"imei=356987" s)
+
+let test_plus_form_view () =
+  let s = "q=hello+world&id=%34%32" in
+  Alcotest.(check bool) "form view decodes + and %XX" true
+    (any_view_contains ~needle:"hello world" s);
+  Alcotest.(check bool) "percent strict keeps + literal" true
+    (any_view_contains ~needle:"hello+world&id=42" s)
+
+let test_base64_run_view () =
+  let secret = "imei=356938035643809&x=1" in
+  let s = "POST /r\nsid=1\nv=2&d=" ^ Base64.encode secret in
+  Alcotest.(check bool) "base64 run decodes in place" true
+    (any_view_contains ~needle:"d=imei=356938035643809" s)
+
+let test_base64url_run_view () =
+  let secret = "aid=9774d56d682e549c!!" in
+  let s = "v=2&d=" ^ Base64.encode_url secret in
+  Alcotest.(check bool) "base64url run decodes in place" true
+    (any_view_contains ~needle:"d=aid=9774d56d682e549c" s)
+
+let test_hex_run_view () =
+  let secret = "356938035643809" in
+  let s = "id=" ^ Hex.encode secret in
+  Alcotest.(check bool) "hex run decodes in place" true
+    (any_view_contains ~needle:("id=" ^ secret) s)
+
+let test_case_fold_digest_only () =
+  let digest = String.uppercase_ascii "9b74c9897bac770ffc029102a200c5de" in
+  let s = "GET /t?h=" ^ digest ^ " HTTP/1.1" in
+  Alcotest.(check bool) "digest folded" true
+    (any_view_contains ~needle:"9b74c9897bac770ffc029102a200c5de" s);
+  (* Boilerplate case must survive in every view that folded the digest. *)
+  List.iter
+    (fun text ->
+      if contains ~needle:"9b74c9897bac770ffc029102a200c5de" text then
+        Alcotest.(check bool) "GET survives folding" true (contains ~needle:"GET" text))
+    (texts_of s)
+
+let test_chunked_view () =
+  let body = "7\r\nimei=35\r\n8\r\n69380356\r\n5\r\n43809\r\n0\r\n" in
+  let s = "POST /r HTTP/1.1\nsid=1\n" ^ body in
+  Alcotest.(check bool) "chunked body reassembled" true
+    (any_view_contains ~needle:"imei=356938035643809" s)
+
+let test_layered_percent_base64 () =
+  let secret = "imei=356938035643809&x=1" in
+  let b64 = Base64.encode secret in
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))) b64;
+  let s = "v=2&d=" ^ Buffer.contents buf in
+  Alcotest.(check bool) "depth-2 percent+base64 recovered" true
+    (any_view_contains ~needle:"imei=356938035643809" s)
+
+(* --- budgets and bombs --------------------------------------------------- *)
+
+let lattice_of ?budgets s =
+  let t = Normalize.create ?budgets () in
+  Normalize.lattice t s
+
+let total_derived_bytes l =
+  List.fold_left
+    (fun acc (v : Normalize.view) -> acc + String.length v.Normalize.text)
+    0 l.Normalize.derived
+
+let test_depth_budget () =
+  (* base64^4 of a long secret: strictly deeper than the depth-3 budget. *)
+  let s = ref (String.make 64 'a') in
+  for _ = 1 to 4 do
+    s := Base64.encode !s
+  done;
+  let budgets = { Normalize.default_budgets with Normalize.max_depth = 2 } in
+  let l = lattice_of ~budgets ("d=" ^ !s) in
+  List.iter
+    (fun (v : Normalize.view) ->
+      Alcotest.(check bool) "no view deeper than budget" true
+        (List.length v.Normalize.steps <= 2))
+    l.Normalize.derived
+
+let test_views_budget_fails_closed () =
+  let budgets = { Normalize.default_budgets with Normalize.max_views = 2 } in
+  let l = lattice_of ~budgets "a=%41%42&b=68656c6c6f20776f726c6421&c=aGVsbG8gd29ybGQhIQ" in
+  Alcotest.(check bool) "at most max_views views" true
+    (List.length l.Normalize.derived <= 2);
+  Alcotest.(check bool) "exhaustion reported" true
+    (List.exists
+       (function Normalize.Views_exhausted _ -> true | _ -> false)
+       l.Normalize.errors)
+
+let test_bytes_budget_fails_closed () =
+  (* A decode bomb: a big base64 blob whose every decoded view stays large.
+     The byte budget must stop the lattice, keep what fits, and say so. *)
+  let blob = Base64.encode (String.init 4096 (fun i -> Char.chr (32 + (i mod 90)))) in
+  let budgets = { Normalize.default_budgets with Normalize.max_total_bytes = 1024 } in
+  let l = lattice_of ~budgets ("d=" ^ blob) in
+  Alcotest.(check bool) "derived bytes bounded" true (total_derived_bytes l <= 1024);
+  Alcotest.(check bool) "byte exhaustion reported" true
+    (List.exists
+       (function Normalize.Bytes_exhausted _ -> true | _ -> false)
+       l.Normalize.errors)
+
+let test_view_bytes_budget () =
+  let blob = Base64.encode (String.make 2048 'x') in
+  let budgets = { Normalize.default_budgets with Normalize.max_view_bytes = 256 } in
+  let l = lattice_of ~budgets ("d=" ^ blob) in
+  List.iter
+    (fun (v : Normalize.view) ->
+      Alcotest.(check bool) "no oversized view" true
+        (String.length v.Normalize.text <= 256))
+    l.Normalize.derived;
+  Alcotest.(check bool) "oversize reported" true
+    (List.exists
+       (function Normalize.View_too_large _ -> true | _ -> false)
+       l.Normalize.errors)
+
+let test_invalid_budgets_rejected () =
+  Alcotest.check_raises "non-positive depth"
+    (Invalid_argument "Normalize.create: budgets must be positive") (fun () ->
+      ignore
+        (Normalize.create
+           ~budgets:{ Normalize.default_budgets with Normalize.max_depth = 0 }
+           ()));
+  Alcotest.check_raises "empty steps"
+    (Invalid_argument "Normalize.create: empty step list") (fun () ->
+      ignore (Normalize.create ~steps:[] ()))
+
+let test_step_names_roundtrip () =
+  List.iter
+    (fun step ->
+      match Normalize.step_of_name (Normalize.step_name step) with
+      | Some s -> Alcotest.(check bool) "roundtrip" true (s = step)
+      | None -> Alcotest.failf "step name %s does not parse" (Normalize.step_name step))
+    Normalize.all_steps
+
+(* --- properties ---------------------------------------------------------- *)
+
+let printable = QCheck.string_of_size QCheck.Gen.(0 -- 200)
+
+let prop_lattice_bounded =
+  QCheck.Test.make ~name:"lattice respects every budget on arbitrary input"
+    ~count:300 printable (fun s ->
+      let l = lattice_of s in
+      let b = Normalize.default_budgets in
+      List.length l.Normalize.derived <= b.Normalize.max_views
+      && total_derived_bytes l <= b.Normalize.max_total_bytes
+      && List.for_all
+           (fun (v : Normalize.view) ->
+             List.length v.Normalize.steps <= b.Normalize.max_depth)
+           l.Normalize.derived)
+
+let prop_views_distinct =
+  QCheck.Test.make ~name:"derived views are distinct from root and each other"
+    ~count:300 printable (fun s ->
+      let l = lattice_of s in
+      let texts = l.Normalize.root :: List.map (fun (v : Normalize.view) -> v.Normalize.text) l.Normalize.derived in
+      List.length texts = List.length (List.sort_uniq compare texts))
+
+let prop_fixpoint_idempotent =
+  (* Expanding any derived view again yields nothing not already reachable:
+     a view that is a fixpoint has no derived children of its own. *)
+  QCheck.Test.make ~name:"fixpoint views expand to nothing" ~count:100 printable
+    (fun s ->
+      let t = Normalize.create () in
+      let l = Normalize.lattice t s in
+      List.for_all
+        (fun (v : Normalize.view) ->
+          (not (Normalize.is_fixpoint t v.Normalize.text))
+          || (Normalize.lattice t v.Normalize.text).Normalize.derived = [])
+        l.Normalize.derived)
+
+let prop_percent_roundtrip =
+  QCheck.Test.make ~name:"percent_decode_strict inverts full escaping" ~count:300
+    printable (fun s ->
+      let buf = Buffer.create (String.length s * 3) in
+      String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))) s;
+      Url.percent_decode_strict (Buffer.contents buf) = Some s)
+
+let prop_lenient_passthrough =
+  QCheck.Test.make ~name:"percent_decode_lenient never fails" ~count:300 printable
+    (fun s ->
+      let decoded, _n = Url.percent_decode_lenient s in
+      String.length decoded <= String.length s)
+
+let suite =
+  [
+    ( "normalize.steps",
+      [
+        Alcotest.test_case "percent view" `Quick test_percent_view;
+        Alcotest.test_case "form + decoding" `Quick test_plus_form_view;
+        Alcotest.test_case "base64 run splice" `Quick test_base64_run_view;
+        Alcotest.test_case "base64url run splice" `Quick test_base64url_run_view;
+        Alcotest.test_case "hex run splice" `Quick test_hex_run_view;
+        Alcotest.test_case "case fold digests only" `Quick test_case_fold_digest_only;
+        Alcotest.test_case "chunked reassembly" `Quick test_chunked_view;
+        Alcotest.test_case "percent+base64 layering" `Quick test_layered_percent_base64;
+        Alcotest.test_case "step names roundtrip" `Quick test_step_names_roundtrip;
+      ] );
+    ( "normalize.budgets",
+      [
+        Alcotest.test_case "depth budget" `Quick test_depth_budget;
+        Alcotest.test_case "views budget fails closed" `Quick test_views_budget_fails_closed;
+        Alcotest.test_case "bytes budget fails closed" `Quick test_bytes_budget_fails_closed;
+        Alcotest.test_case "view size budget" `Quick test_view_bytes_budget;
+        Alcotest.test_case "invalid budgets rejected" `Quick test_invalid_budgets_rejected;
+        qtest prop_lattice_bounded;
+        qtest prop_views_distinct;
+        qtest prop_fixpoint_idempotent;
+        qtest prop_percent_roundtrip;
+        qtest prop_lenient_passthrough;
+      ] );
+  ]

@@ -180,6 +180,50 @@ let prop_hex_roundtrip =
     QCheck.(string_of_size Gen.(0 -- 64))
     (fun s -> Hex.decode (Hex.encode s) = Some s)
 
+(* --- Base64 --- *)
+
+let test_base64_known () =
+  List.iter
+    (fun (plain, padded) ->
+      Alcotest.(check string) ("encode " ^ plain) padded (Base64.encode plain);
+      Alcotest.(check (option string)) ("decode " ^ padded) (Some plain)
+        (Base64.decode padded))
+    (* RFC 4648 §10 test vectors. *)
+    [ ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v");
+      ("foob", "Zm9vYg=="); ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy") ]
+
+let test_base64_unpadded () =
+  Alcotest.(check (option string)) "one byte" (Some "f") (Base64.decode "Zg");
+  Alcotest.(check (option string)) "two bytes" (Some "fo") (Base64.decode "Zm8");
+  Alcotest.(check (option string)) "three bytes" (Some "foo") (Base64.decode "Zm9v")
+
+let test_base64_url_safe () =
+  (* 0xfb 0xef 0xff encodes to "++//" standard, "--__" URL-safe. *)
+  let s = "\xfb\xef\xff" in
+  Alcotest.(check string) "url alphabet, no padding" "--__--__"
+    (Base64.encode_url (s ^ s));
+  Alcotest.(check (option string)) "url decode" (Some (s ^ s))
+    (Base64.decode "--__--__");
+  Alcotest.(check (option string)) "std decode" (Some (s ^ s))
+    (Base64.decode "++//++//")
+
+let test_base64_rejects () =
+  Alcotest.(check (option string)) "mixed alphabets" None (Base64.decode "+AA_");
+  Alcotest.(check (option string)) "bad character" None (Base64.decode "Zm9*");
+  Alcotest.(check (option string)) "length 1 mod 4" None (Base64.decode "Z");
+  Alcotest.(check (option string)) "interior padding" None (Base64.decode "Zg==Zg==");
+  Alcotest.(check (option string)) "padding only" None (Base64.decode "==")
+
+let prop_base64_roundtrip =
+  QCheck.Test.make ~name:"base64 roundtrip (padded)" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Base64.decode (Base64.encode s) = Some s)
+
+let prop_base64url_roundtrip =
+  QCheck.Test.make ~name:"base64url roundtrip (unpadded)" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Base64.decode (Base64.encode_url s) = Some s)
+
 (* --- Strutil --- *)
 
 let test_split_on_string () =
@@ -379,6 +423,15 @@ let suite =
         Alcotest.test_case "known vectors" `Quick test_hex_known;
         Alcotest.test_case "invalid inputs" `Quick test_hex_invalid;
         qtest prop_hex_roundtrip;
+      ] );
+    ( "util.base64",
+      [
+        Alcotest.test_case "rfc 4648 vectors" `Quick test_base64_known;
+        Alcotest.test_case "unpadded decode" `Quick test_base64_unpadded;
+        Alcotest.test_case "url-safe alphabet" `Quick test_base64_url_safe;
+        Alcotest.test_case "rejects" `Quick test_base64_rejects;
+        qtest prop_base64_roundtrip;
+        qtest prop_base64url_roundtrip;
       ] );
     ( "util.strutil",
       [
