@@ -1,0 +1,197 @@
+(* Distribution-tier benchmark: journaled publish throughput on the
+   authority, delta-vs-snapshot sync cost as the fleet lags further
+   behind, and recovery time as the journal grows.
+
+   The delta/snapshot comparison is the one the design hangs on: a
+   client [lag] versions behind pays for [lag] changelog entries over
+   the wire instead of the whole set, so sync cost should track the lag,
+   not the set size — until the lag crosses the compaction horizon and
+   the full download returns.
+
+   Emits BENCH_distrib.json so runs can be diffed.
+
+   Usage: bench_distrib.exe [--quick]   (--quick shrinks every axis) *)
+
+module Json = Leakdetect_util.Json
+module Signature = Leakdetect_core.Signature
+module Authority = Leakdetect_distrib.Authority
+module Delta_client = Leakdetect_distrib.Delta_client
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let fresh_dir () =
+  let f = Filename.temp_file "ld_bench_distrib" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let sig_of i =
+  Signature.make ~id:i ~mode:Signature.Conjunction ~cluster_size:3
+    [ "leak"; Printf.sprintf "tok%06d" i;
+      Printf.sprintf "imei=3550219301%05d" i ]
+
+(* Grow a set one signature per version: version v has signatures 1..v. *)
+let set_at v = List.init v (fun i -> sig_of (i + 1))
+
+let bench_publish n =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let auth =
+        match Authority.open_ ~dir () with
+        | Ok (t, _) -> t
+        | Error e -> failwith e
+      in
+      let (), publish_s =
+        time (fun () ->
+            for v = 1 to n do
+              ignore (Authority.publish auth ~tenant:"bench" (set_at v))
+            done)
+      in
+      let wal_bytes = Authority.wal_size auth in
+      Authority.close auth;
+      let (auth', rep), replay_s =
+        time (fun () ->
+            match Authority.open_ ~dir () with
+            | Ok v -> v
+            | Error e -> failwith e)
+      in
+      assert (rep.Authority.replayed = n);
+      assert (Authority.version auth' ~tenant:"bench" = n);
+      let (), compact_s = time (fun () -> Authority.compact auth') in
+      Authority.close auth';
+      Printf.printf
+        "%6d publishes: journal %7.1f ms (%8.0f chg/s), replay %7.1f ms, compact %5.1f ms, wal %8d B\n%!"
+        n (1000. *. publish_s)
+        (float_of_int n /. publish_s)
+        (1000. *. replay_s) (1000. *. compact_s) wal_bytes;
+      Json.Obj
+        [ ("publishes", Json.Int n);
+          ("wal_bytes", Json.Int wal_bytes);
+          ("publish_s", Json.Float publish_s);
+          ("publish_changes_per_s", Json.Float (float_of_int n /. publish_s));
+          ("replay_s", Json.Float replay_s);
+          ("compact_s", Json.Float compact_s) ])
+
+(* One authority at head [versions]; clients parked [lag] versions behind
+   sync [rounds] times each.  Compares wire bytes and time for delta sync
+   against the same clients forced to full downloads. *)
+let bench_sync ~versions ~rounds lag =
+  let auth = Authority.create () in
+  for v = 1 to versions do
+    ignore (Authority.publish auth ~tenant:"bench" (set_at v))
+  done;
+  let transport = Authority.wire_transport auth in
+  let counting_transport bytes raw =
+    bytes := !bytes + String.length raw;
+    match transport raw with
+    | Ok response ->
+      bytes := !bytes + String.length response;
+      Ok response
+    | Error _ as e -> e
+  in
+  (* Park a fresh client at [versions - lag] by syncing it against a
+     truncated twin of the authority; the timed part is the catch-up. *)
+  let park () =
+    let c = Delta_client.create ~seed:1 ~tenant:"bench" () in
+    let twin = Authority.create () in
+    ignore (Authority.publish twin ~tenant:"bench" (set_at (versions - lag)));
+    (match
+       (Delta_client.sync c ~transport:(Authority.wire_transport twin))
+         .Leakdetect_monitor.Signature_client.outcome
+     with
+    | Leakdetect_monitor.Signature_client.Updated _ -> ()
+    | _ -> failwith "parking sync must update");
+    c
+  in
+  let measure ~full =
+    let clients = List.init rounds (fun _ -> park ()) in
+    let bytes = ref 0 and deltas = ref 0 and snapshots = ref 0 in
+    let (), s =
+      time (fun () ->
+          List.iter
+            (fun c ->
+              let transport raw =
+                let raw =
+                  if full then
+                    (* Ask for the snapshot explicitly. *)
+                    match String.index_opt raw ' ' with
+                    | Some i -> (
+                      match String.index_from_opt raw (i + 1) ' ' with
+                      | Some j ->
+                        String.sub raw 0 j ^ "&full=1"
+                        ^ String.sub raw j (String.length raw - j)
+                      | None -> raw)
+                    | None -> raw
+                  else raw
+                in
+                counting_transport bytes raw
+              in
+              let before = Delta_client.counters c in
+              match
+                (Delta_client.sync c ~transport)
+                  .Leakdetect_monitor.Signature_client.outcome
+              with
+              | Leakdetect_monitor.Signature_client.Updated _ ->
+                let k = Delta_client.counters c in
+                if k.Delta_client.delta_updates > before.Delta_client.delta_updates
+                then incr deltas
+                else incr snapshots
+              | _ -> failwith "catch-up sync must update")
+            clients)
+    in
+    (!bytes, s, !deltas, !snapshots)
+  in
+  let d_bytes, d_s, d_deltas, _ = measure ~full:false in
+  let f_bytes, f_s, _, f_snapshots = measure ~full:true in
+  Printf.printf
+    "lag %5d of %d: delta %8d B %7.2f ms (%d delta)   full %9d B %7.2f ms (%d snapshot)   bytes saved %4.1fx\n%!"
+    lag versions d_bytes (1000. *. d_s) d_deltas f_bytes (1000. *. f_s)
+    f_snapshots
+    (float_of_int f_bytes /. float_of_int (max 1 d_bytes));
+  Json.Obj
+    [ ("lag", Json.Int lag);
+      ("delta_bytes", Json.Int d_bytes);
+      ("delta_s", Json.Float d_s);
+      ("full_bytes", Json.Int f_bytes);
+      ("full_s", Json.Float f_s);
+      ( "bytes_saved_ratio",
+        Json.Float (float_of_int f_bytes /. float_of_int (max 1 d_bytes)) ) ]
+
+let () =
+  Printf.printf "distribution tier benchmark (%s)\n%!"
+    (if quick then "quick" else "full");
+  let publish_sizes = if quick then [ 200; 500 ] else [ 200; 1_000; 3_000 ] in
+  let versions = if quick then 400 else 2_000 in
+  let rounds = if quick then 20 else 50 in
+  let lags = [ 1; 10; 100 ] in
+  Printf.printf "-- journaled publish / replay / compact --\n%!";
+  let publish_rows = List.map bench_publish publish_sizes in
+  Printf.printf "-- sync cost vs lag (head at %d versions, %d clients each) --\n%!"
+    versions rounds;
+  let sync_rows = List.map (bench_sync ~versions ~rounds) lags in
+  let doc =
+    Json.Obj
+      [ ("bench", Json.String "distrib");
+        ("quick", Json.Bool quick);
+        ("publish", Json.List publish_rows);
+        ("sync_vs_lag", Json.List sync_rows) ]
+  in
+  let oc = open_out "BENCH_distrib.json" in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_distrib.json\n"

@@ -11,7 +11,9 @@
                 including crash/recover trials against the durable store
      store      recover and inspect a durable signature-state directory
      evade      adversarial mutation replay: per-mutator recall with and
-                without the canonicalization lattice *)
+                without the canonicalization lattice
+     soak       multi-client delta-sync soak against the journaled signature
+                authority, with crash points and convergence invariants *)
 
 open Cmdliner
 
@@ -47,6 +49,7 @@ module Normalize = Leakdetect_normalize.Normalize
 module Mutator = Leakdetect_adversary.Mutator
 module Harness = Leakdetect_adversary.Harness
 module Json = Leakdetect_util.Json
+module Soak = Leakdetect_distrib.Soak
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -1319,11 +1322,156 @@ let evade_cmd =
     Term.(const run $ setup_log_t $ seed_t $ scale_small $ rates $ mutators $ depth
           $ sample_n $ json_out $ recall_floor $ metrics_out)
 
+let soak_cmd =
+  let run () seed clients tenants ticks sync_period publishes compact_every k
+      reporter_cap candidates byzantine drop corrupt server_error
+      server_crash_rate client_restart_rate drain_rounds min_delta_ratio
+      state_dir json_out metrics_out =
+    let config =
+      {
+        Soak.default_config with
+        Soak.clients;
+        tenants;
+        ticks;
+        sync_period;
+        publishes;
+        compact_every;
+        k;
+        reporter_cap;
+        candidates;
+        byzantine;
+        fault =
+          {
+            Fault.default with
+            Fault.drop_rate = drop;
+            corrupt_rate = corrupt;
+            server_error_rate = server_error;
+          };
+        server_crash_rate;
+        client_restart_rate;
+        drain_rounds;
+        seed;
+      }
+    in
+    let obs = if metrics_out <> None then Obs.create () else Obs.noop in
+    let state_root, cleanup_root =
+      match state_dir with
+      | Some d ->
+        if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+        (d, false)
+      | None ->
+        let d = Filename.temp_file "leakdetect_soak" "" in
+        Sys.remove d;
+        Sys.mkdir d 0o755;
+        (d, true)
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> if cleanup_root then rm_rf state_root)
+        (fun () ->
+          let dir = Filename.concat state_root "authority" in
+          if Sys.file_exists dir then rm_rf dir;
+          try Soak.run ~obs ~dir config
+          with Invalid_argument m -> exit_err "%s" m)
+    in
+    print_endline (Soak.summary report);
+    (match json_out with
+    | None -> ()
+    | Some "-" -> print_endline (Json.to_string_pretty (Soak.report_to_json report))
+    | Some path ->
+      spit path (Json.to_string_pretty (Soak.report_to_json report));
+      Printf.printf "soak report written to %s\n" path);
+    (match metrics_out with
+    | None -> ()
+    | Some "-" -> print_string (Obs.to_prometheus obs)
+    | Some path ->
+      spit path (Obs.to_prometheus obs);
+      Printf.printf "metrics written to %s\n" path);
+    if not (Soak.ok report) then exit_err "soak invariants violated";
+    if report.Soak.steady_delta_ratio < min_delta_ratio then
+      exit_err "steady-state delta ratio %.1f below floor %.1f"
+        report.Soak.steady_delta_ratio min_delta_ratio
+  in
+  let flag_int name v doc =
+    Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
+  in
+  let flag_rate name v doc =
+    Arg.(value & opt float v & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let clients = flag_int "clients" 500 "Simulated delta-sync clients." in
+  let tenants = flag_int "tenants" 2 "Tenants (clients assigned round-robin)." in
+  let ticks = flag_int "ticks" 2000 "Scheduler ticks (ramp is the first 2/3)." in
+  let sync_period = flag_int "sync-period" 20 "Ticks between one client's syncs." in
+  let publishes = flag_int "publishes" 40 "Signature-set publishes over the ramp." in
+  let compact_every =
+    flag_int "compact-every" 5 "Compact the changelog every N publishes (0 = never)."
+  in
+  let k = flag_int "k" 3 "Distinct reporters required to promote a candidate." in
+  let reporter_cap =
+    flag_int "reporter-cap" 16 "Pending candidates one reporter may be party to."
+  in
+  let candidates = flag_int "candidates" 6 "Honest candidate signatures per tenant." in
+  let byzantine = flag_int "byzantine" 2 "Hostile reporters flooding candidates." in
+  let drop = flag_rate "drop" 0.10 "Transport record-drop rate." in
+  let corrupt = flag_rate "corrupt" 0.10 "Transport byte-corruption rate." in
+  let server_error = flag_rate "server-error" 0.2 "Transient server-error rate." in
+  let server_crash_rate =
+    flag_rate "server-crash-rate" 0.25
+      "Crash-point probability per publish / compaction."
+  in
+  let client_restart_rate =
+    flag_rate "client-restart-rate" 0.01 "Per-sync client state-loss probability."
+  in
+  let drain_rounds =
+    flag_int "drain-rounds" 40 "Extra sync rounds for stragglers after the run."
+  in
+  let min_delta_ratio =
+    Arg.(value
+        & opt float 5.0
+        & info [ "min-delta-ratio" ] ~docv:"R"
+            ~doc:
+              "Exit non-zero unless steady-state delta syncs outnumber full \
+               downloads by at least R.")
+  in
+  let state_dir =
+    Arg.(value
+        & opt (some string) None
+        & info [ "state-dir" ] ~docv:"DIR"
+            ~doc:
+              "Directory for the authority journal/snapshot (default: a \
+               temporary directory, removed afterwards).")
+  in
+  let json_out =
+    Arg.(value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the soak report as JSON to FILE; $(b,-) prints to stdout.")
+  in
+  let metrics_out =
+    Arg.(value
+        & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Run with an active metrics registry and write the Prometheus \
+               scrape to FILE; $(b,-) prints to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drive hundreds of simulated clients against the journaled multi-tenant \
+          signature authority through faulty transports, with server crash \
+          points, and check the convergence invariants.")
+    Term.(const run $ setup_log_t $ seed_t $ clients $ tenants $ ticks
+          $ sync_period $ publishes $ compact_every $ k $ reporter_cap
+          $ candidates $ byzantine $ drop $ corrupt $ server_error
+          $ server_crash_rate $ client_restart_rate $ drain_rounds
+          $ min_delta_ratio $ state_dir $ json_out $ metrics_out)
+
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in
   Cmd.group
     (Cmd.info "leakdetect" ~version:"1.0.0" ~doc)
     [ generate_cmd; stats_cmd; cluster_cmd; sign_cmd; detect_cmd; evaluate_cmd;
-      monitor_cmd; chaos_cmd; store_cmd; trace_cmd; evade_cmd ]
+      monitor_cmd; chaos_cmd; store_cmd; trace_cmd; evade_cmd; soak_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,180 @@
+(** The multi-tenant signature authority: the distribution tier grown out
+    of {!Leakdetect_monitor.Signature_server} (Fig. 3's generation server)
+    for fleet-scale operation.
+
+    Per tenant it keeps a {!Changelog} — a monotonically versioned log of
+    [Add]/[Retire] entries — and a crowdsourced candidate table.  Three
+    design rules, in PrivacyProxy's robustness shape:
+
+    - {b Delta sync.}  [GET /signatures?tenant=T&since=V] answers with
+      just the changelog suffix newer than [V] (plus version and
+      canonical-set checksum headers), falling back to a full snapshot
+      when [V] is below the compaction horizon or [full=1] is asked for.
+      Up-to-date clients get [304] with the version still in the header.
+    - {b k-anonymous promotion.}  [POST /candidates?tenant=T&reporter=R]
+      records locally observed candidate signatures; a candidate joins
+      the published set only once [>= k] {e distinct} reporter ids have
+      submitted it, and a per-reporter cap on pending candidates keeps a
+      hostile client from flooding the table.
+    - {b Crash-recoverable versions.}  Every accepted mutation (changelog
+      entry, candidate report) is journaled through the {!Leakdetect_store}
+      WAL before it is applied, so recovery replays to the exact committed
+      changelog; compaction snapshots atomically with the same idempotent
+      crash window as {!Leakdetect_store.Store.compact}.
+
+    Tenant and reporter ids are restricted to [A-Za-z0-9._:-] (max 64
+    chars) so they embed safely in journal lines and query strings. *)
+
+module Signature = Leakdetect_core.Signature
+
+val id_ok : string -> bool
+(** Valid tenant/reporter id. *)
+
+type config = {
+  k : int;  (** Distinct reporters required to promote a candidate. *)
+  reporter_cap : int;
+      (** Pending (unpromoted) candidates one reporter may be party to,
+          per tenant; reports beyond it are rejected as [`Capped]. *)
+  compact_keep : int;
+      (** Changelog entries left live (delta-servable) by {!compact}. *)
+}
+
+val default_config : config
+(** [k = 3], [reporter_cap = 16], [compact_keep = 64]. *)
+
+(** {1 Lifecycle} *)
+
+type t
+
+type snapshot_status = Loaded | Absent | Corrupt of string
+
+type report = {
+  snapshot : snapshot_status;
+  replayed : int;  (** Journal entries applied during recovery. *)
+  stale : int;  (** Entries whose version was not newer: replay no-ops. *)
+  undecodable : int;  (** Checksum-valid records that failed to decode. *)
+  tail : Leakdetect_store.Wal.tail;
+  promoted_on_recovery : int;
+      (** Candidates found at [>= k] reporters after replay (the crash
+          landed between the k-th report and its promotion entry) and
+          promoted during {!open_}. *)
+}
+
+val report_to_string : report -> string
+
+val create : ?obs:Leakdetect_obs.Obs.t -> ?config:config -> unit -> t
+(** An in-memory authority (no journal): durable-free tests and
+    benchmarks.  Mutations are applied but not persisted. *)
+
+val open_ :
+  ?obs:Leakdetect_obs.Obs.t ->
+  ?config:config ->
+  dir:string ->
+  unit ->
+  (t * report, string) result
+(** Recover a journaled authority from [dir] (creating it as needed):
+    load the snapshot if intact, replay the WAL (truncating a torn tail
+    in place), then promote any candidates the crash caught between
+    their k-th report and the promotion entry. *)
+
+val close : t -> unit
+
+exception Crashed of string
+(** Raised by the [?inject] hooks below to simulate the process dying at
+    a chosen point; the instance must then be abandoned and {!open_}ed
+    again from its directory. *)
+
+(** {1 State} *)
+
+val config : t -> config
+val tenants : t -> string list
+(** Sorted. *)
+
+val version : t -> tenant:string -> int
+(** 0 for an unknown tenant. *)
+
+val signatures : t -> tenant:string -> Signature.t list
+val checksum : t -> tenant:string -> int
+val checksum_at : t -> tenant:string -> version:int -> int option
+val horizon : t -> tenant:string -> int
+val changelog_entries : t -> tenant:string -> Changelog.entry list
+val wal_size : t -> int  (** 0 for an in-memory authority. *)
+
+type promotion = {
+  tenant : string;
+  signature : Signature.t;
+  reporters : int;  (** Distinct reporters at promotion time. *)
+  at_version : int;
+}
+
+val promotions : t -> promotion list
+(** Every promotion since this instance opened, oldest first — the soak's
+    audit trail for the [>= k] invariant (not persisted). *)
+
+val pending_candidates : t -> tenant:string -> int
+
+(** {1 Mutations} *)
+
+val publish :
+  ?inject:(int -> unit) -> t -> tenant:string -> Signature.t list -> int
+(** Install a desired set: diffed against the current one into [Add]
+    (new or changed ids) and [Retire] (absent ids) entries, each
+    journaled then applied.  A byte-identical set appends nothing and
+    returns the unchanged version.  [?inject] is called with the change
+    index before each journal append — a crash-point hook for harnesses
+    (raise {!Crashed} to simulate dying mid-publish).
+    @raise Invalid_argument on a bad tenant id. *)
+
+type candidate_outcome =
+  | Accepted of int  (** Distinct reporters so far, this one included. *)
+  | Duplicate  (** Same reporter already reported it, or it is already published. *)
+  | Promoted of int  (** The k-th reporter arrived: published at this version. *)
+  | Capped  (** The reporter is at its pending-candidate cap. *)
+
+val candidate_outcome_to_string : candidate_outcome -> string
+
+val report_candidate :
+  t -> tenant:string -> reporter:string -> Signature.t -> candidate_outcome
+(** Record one crowdsourced candidate (keyed by mode + token list; the
+    submitted id is ignored).  Promotion publishes it with a fresh id and
+    [cluster_size] = distinct-reporter count.
+    @raise Invalid_argument on a bad tenant or reporter id. *)
+
+val compact : ?inject:(string -> unit) -> t -> unit
+(** Fold every tenant's changelog down to [compact_keep] live entries,
+    snapshot the state atomically, and reset the journal.  [?inject] is
+    called at ["pre_snapshot"] and ["post_snapshot"] — the second is the
+    Store-style crash window (new snapshot, old log) that idempotent
+    replay must absorb. *)
+
+(** {1 HTTP} *)
+
+val signatures_endpoint : string
+(** ["/signatures"] *)
+
+val candidates_endpoint : string
+(** ["/candidates"] *)
+
+val metrics_endpoint : string
+(** ["/metrics"] *)
+
+
+val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
+(** [GET /signatures?tenant=T&since=V[&full=1]]:
+    - [200] with [X-Signature-Mode: delta], the entry suffix as body and
+      [X-Signature-Since] echoing [V], when the suffix is servable;
+    - [200] with [X-Signature-Mode: snapshot] and the full set as body
+      when [V] predates the horizon (or [full=1]);
+    - [304] when up to date — [X-Signature-Version] and
+      [X-Signature-Checksum] are carried on every one of these;
+    - [400] on a missing/bad tenant or [since], [404]/[405] as usual.
+
+    [POST /candidates?tenant=T&reporter=R] with signature lines as body:
+    [200] with a tally body ([accepted/duplicate/promoted/capped] TAB
+    counts), [400] on bad ids or a malformed line.
+
+    [GET /metrics]: Prometheus exposition of the registry. *)
+
+val wire_transport : t -> string -> (string, string) result
+(** Parse printed request bytes, {!handle}, print the response — the
+    loss-free transport that fault plans wrap. *)

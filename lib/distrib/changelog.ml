@@ -1,0 +1,168 @@
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+module Leak_error = Leakdetect_util.Leak_error
+module Crc32 = Leakdetect_util.Crc32
+
+type change = Add of Signature.t | Retire of int
+
+type entry = { version : int; change : change }
+
+let change_to_string = function
+  | Add s -> Printf.sprintf "add #%d" s.Signature.id
+  | Retire id -> Printf.sprintf "retire #%d" id
+
+let entry_to_line e =
+  match e.change with
+  | Add s -> Printf.sprintf "a\t%d\t%s" e.version (Signature_io.to_line s)
+  | Retire id -> Printf.sprintf "r\t%d\t%d" e.version id
+
+let entry_of_line line =
+  match String.index_opt line '\t' with
+  | None -> Error (Printf.sprintf "bad changelog line %S" line)
+  | Some i -> (
+    let tag = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match String.index_opt rest '\t' with
+    | None -> Error (Printf.sprintf "bad changelog line %S" line)
+    | Some j -> (
+      let version = String.sub rest 0 j in
+      let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match int_of_string_opt version with
+      | None -> Error (Printf.sprintf "bad changelog version %S" version)
+      | Some version when version <= 0 ->
+        Error (Printf.sprintf "non-positive changelog version %d" version)
+      | Some version -> (
+        match tag with
+        | "a" -> (
+          match Signature_io.of_line payload with
+          | Ok s -> Ok { version; change = Add s }
+          | Error e ->
+            Error ("bad changelog signature: " ^ Leak_error.to_string e))
+        | "r" -> (
+          match int_of_string_opt payload with
+          | Some id when id >= 0 -> Ok { version; change = Retire id }
+          | _ -> Error (Printf.sprintf "bad retire id %S" payload))
+        | _ -> Error (Printf.sprintf "unknown changelog tag %S" tag))))
+
+(* Sets are id-ascending lists; all updates preserve the invariant. *)
+
+let apply_change set change =
+  match change with
+  | Add s ->
+    let id = s.Signature.id in
+    let rec ins = function
+      | [] -> [ s ]
+      | x :: rest when x.Signature.id < id -> x :: ins rest
+      | x :: rest when x.Signature.id = id -> s :: rest
+      | rest -> s :: rest
+    in
+    ins set
+  | Retire id -> List.filter (fun x -> x.Signature.id <> id) set
+
+let canonical set =
+  let sorted =
+    List.sort (fun a b -> compare a.Signature.id b.Signature.id) set
+  in
+  String.concat "\n" (List.map Signature_io.to_line sorted)
+
+let checksum_set set = Crc32.string (canonical set)
+
+let wire_checksum ~version set =
+  Crc32.string (string_of_int version ^ "\n" ^ canonical set)
+
+type t = {
+  mutable base_version : int;
+  mutable base : Signature.t list;
+  mutable rev_entries : entry list;  (* newest first *)
+  mutable version : int;
+  mutable set : Signature.t list;  (* current, id-ascending *)
+  mutable next_id : int;
+  sums : (int, int) Hashtbl.t;  (* version -> canonical-set CRC *)
+}
+
+let create () =
+  let sums = Hashtbl.create 64 in
+  Hashtbl.replace sums 0 (checksum_set []);
+  {
+    base_version = 0;
+    base = [];
+    rev_entries = [];
+    version = 0;
+    set = [];
+    next_id = 0;
+    sums;
+  }
+
+let version t = t.version
+let horizon t = t.base_version
+let next_id t = t.next_id
+let current t = t.set
+let current_checksum t = checksum_set t.set
+let checksum_at t v = Hashtbl.find_opt t.sums v
+let entries t = List.rev t.rev_entries
+let base t = t.base
+
+let note_id t = function
+  | Add s -> t.next_id <- max t.next_id (s.Signature.id + 1)
+  | Retire _ -> ()
+
+let append t change =
+  t.version <- t.version + 1;
+  t.set <- apply_change t.set change;
+  note_id t change;
+  let entry = { version = t.version; change } in
+  t.rev_entries <- entry :: t.rev_entries;
+  Hashtbl.replace t.sums t.version (checksum_set t.set);
+  entry
+
+let restore ~base_version ~base ~next_id ~entries =
+  if base_version < 0 then Error "restore: negative base version"
+  else if next_id < 0 then Error "restore: negative next id"
+  else begin
+    let t = create () in
+    t.base_version <- base_version;
+    t.base <- List.sort (fun a b -> compare a.Signature.id b.Signature.id) base;
+    t.version <- base_version;
+    t.set <- t.base;
+    t.next_id <- next_id;
+    List.iter (fun s -> note_id t (Add s)) t.base;
+    Hashtbl.reset t.sums;
+    Hashtbl.replace t.sums base_version (checksum_set t.set);
+    let rec replay = function
+      | [] -> Ok t
+      | (e : entry) :: rest ->
+        if e.version <> t.version + 1 then
+          Error
+            (Printf.sprintf "restore: entry version %d after %d" e.version
+               t.version)
+        else begin
+          ignore (append t e.change);
+          replay rest
+        end
+    in
+    replay entries
+  end
+
+let since t v =
+  if v < t.base_version || v > t.version then None
+  else
+    Some
+      (List.filter (fun (e : entry) -> e.version > v) (List.rev t.rev_entries))
+
+let compact t ~keep =
+  let all = List.rev t.rev_entries in
+  let n = List.length all in
+  let keep = max 0 (min keep n) in
+  let fold_n = n - keep in
+  if fold_n > 0 then begin
+    let folded = List.filteri (fun i _ -> i < fold_n) all in
+    List.iter
+      (fun e -> t.base <- apply_change t.base e.change)
+      folded;
+    t.base_version <- t.base_version + fold_n;
+    t.rev_entries <-
+      List.rev (List.filteri (fun i _ -> i >= fold_n) all);
+    Hashtbl.iter
+      (fun v _ -> if v < t.base_version then Hashtbl.remove t.sums v)
+      (Hashtbl.copy t.sums)
+  end

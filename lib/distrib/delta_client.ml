@@ -1,0 +1,225 @@
+module Http = Leakdetect_http
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+module Leak_error = Leakdetect_util.Leak_error
+module Signature_client = Leakdetect_monitor.Signature_client
+
+type counters = {
+  delta_updates : int;
+  snapshot_updates : int;
+  forced_full : int;
+  regressions_refused : int;
+}
+
+type t = {
+  tenant : string;
+  inner : Signature_client.t;
+  mutable delta_updates : int;
+  mutable snapshot_updates : int;
+  mutable forced_full : int;
+  mutable regressions_refused : int;
+  (* Which transfer mode produced the Set the inner client is about to
+     install; read back after sync to attribute the update. *)
+  mutable last_mode : [ `Delta | `Snapshot ] option;
+}
+
+let create ?config ?obs ?seed ~tenant () =
+  if not (Authority.id_ok tenant) then
+    invalid_arg (Printf.sprintf "Delta_client: bad tenant id %S" tenant);
+  {
+    tenant;
+    inner = Signature_client.create ?config ?obs ?seed ();
+    delta_updates = 0;
+    snapshot_updates = 0;
+    forced_full = 0;
+    regressions_refused = 0;
+    last_mode = None;
+  }
+
+let tenant t = t.tenant
+let version t = Signature_client.version t.inner
+let signatures t = Signature_client.signatures t.inner
+let checksum t = Changelog.checksum_set (signatures t)
+let health t = Signature_client.health t.inner
+let staleness t = Signature_client.staleness t.inner
+let last_error t = Signature_client.last_error t.inner
+
+let counters t =
+  {
+    delta_updates = t.delta_updates;
+    snapshot_updates = t.snapshot_updates;
+    forced_full = t.forced_full;
+    regressions_refused = t.regressions_refused;
+  }
+
+(* --- response plumbing --- *)
+
+let header response name = Http.Headers.get response.Http.Response.headers name
+
+let int_header response name = Option.bind (header response name) int_of_string_opt
+
+let checksum_header response =
+  Option.bind
+    (header response "X-Signature-Checksum")
+    (fun hex -> int_of_string_opt ("0x" ^ hex))
+
+let parse_response raw =
+  match Http.Response.parse raw with
+  | Error e -> Error ("response corrupt: " ^ Http.Wire.error_to_string e)
+  | Ok response -> (
+    let body = response.Http.Response.body in
+    match
+      Option.bind (header response "Content-Length") int_of_string_opt
+    with
+    | Some n when n <> String.length body ->
+      Error
+        (Printf.sprintf "content-length mismatch: declared %d, got %d" n
+           (String.length body))
+    | _ -> Ok response)
+
+let request t ~transport ~since ~full =
+  let target =
+    Printf.sprintf "%s?tenant=%s&since=%d%s" Authority.signatures_endpoint
+      t.tenant since
+      (if full then "&full=1" else "")
+  in
+  let request =
+    Http.Request.make
+      ~headers:(Http.Headers.of_list [ ("Host", "sigauthority.local") ])
+      Http.Request.GET target
+  in
+  match transport (Http.Wire.print request) with
+  | Error _ as e -> e
+  | Ok raw -> parse_response raw
+
+let parse_sig_lines body =
+  let lines = if body = "" then [] else String.split_on_char '\n' body in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Signature_io.of_line line with
+      | Ok s -> loop (s :: acc) rest
+      | Error e -> Error ("bad signature line: " ^ Leak_error.to_string e))
+  in
+  loop [] lines
+
+let parse_entry_lines body =
+  let lines = if body = "" then [] else String.split_on_char '\n' body in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Changelog.entry_of_line line with
+      | Ok e -> loop (e :: acc) rest
+      | Error e -> Error ("bad delta line: " ^ e))
+  in
+  loop [] lines
+
+(* The checksum header is mandatory on every 200 and binds the version:
+   accepting an unverified body would let a transit-corrupted payload (or
+   a corrupted version header over a valid payload) install silently. *)
+let verified t ~mode ~version ~advertised set =
+  match advertised with
+  | None -> Error "missing checksum header"
+  | Some sum when Changelog.wire_checksum ~version set <> sum ->
+    Error
+      (Printf.sprintf "checksum mismatch at version %d (%s)" version
+         (match mode with `Delta -> "delta" | `Snapshot -> "snapshot"))
+  | Some _ ->
+    t.last_mode <- Some mode;
+    Ok (Signature_client.Set { version; signatures = set })
+
+let apply_delta t ~since ~version ~advertised entries =
+  (* The suffix must be exactly [since+1 .. version], consecutive; any
+     gap means we cannot reconstruct the committed set and must resync
+     in full. *)
+  let rec check expected = function
+    | [] -> expected - 1 = version
+    | (e : Changelog.entry) :: rest ->
+      e.Changelog.version = expected && check (expected + 1) rest
+  in
+  if not (check (since + 1) entries) then Error `Gap
+  else
+    let set =
+      List.fold_left
+        (fun set (e : Changelog.entry) ->
+          Changelog.apply_change set e.Changelog.change)
+        (signatures t) entries
+    in
+    Ok (verified t ~mode:`Delta ~version ~advertised set)
+
+let fetch t ~transport ~since =
+  let full_resync () =
+    t.forced_full <- t.forced_full + 1;
+    match request t ~transport ~since ~full:true with
+    | Error _ as e -> e
+    | Ok response -> (
+      match response.Http.Response.status with
+      | 200 -> (
+        match int_header response "X-Signature-Version" with
+        | None -> Error "missing version header"
+        | Some version when version < since ->
+          t.regressions_refused <- t.regressions_refused + 1;
+          Error
+            (Printf.sprintf "version regression: server at %d, we hold %d"
+               version since)
+        | Some version -> (
+          match parse_sig_lines response.Http.Response.body with
+          | Error _ as e -> e
+          | Ok set ->
+            verified t ~mode:`Snapshot ~version
+              ~advertised:(checksum_header response) set))
+      | status ->
+        Error (Printf.sprintf "unexpected status %d on full sync" status))
+  in
+  match request t ~transport ~since ~full:false with
+  | Error _ as e -> e
+  | Ok response -> (
+    let observed = int_header response "X-Signature-Version" in
+    match response.Http.Response.status with
+    | 304 -> (
+      match observed with
+      | Some v when v < since ->
+        t.regressions_refused <- t.regressions_refused + 1;
+        Error (Printf.sprintf "version regression: server at %d, we hold %d" v since)
+      | _ -> Ok (Signature_client.Up_to_date { observed }))
+    | 200 -> (
+      match observed with
+      | None -> Error "missing version header"
+      | Some version when version < since ->
+        t.regressions_refused <- t.regressions_refused + 1;
+        Error
+          (Printf.sprintf "version regression: server at %d, we hold %d"
+             version since)
+      | Some version -> (
+        let advertised = checksum_header response in
+        match header response "X-Signature-Mode" with
+        | Some "delta" -> (
+          match parse_entry_lines response.Http.Response.body with
+          | Error _ as e -> e
+          | Ok entries -> (
+            match apply_delta t ~since ~version ~advertised entries with
+            | Ok (Ok _ as ok) -> ok
+            | Ok (Error _) | Error `Gap ->
+              (* Either we cannot reconstruct the committed set (gap) or
+                 what we reconstructed is not it (checksum): same cure. *)
+              full_resync ()))
+        | Some "snapshot" | None -> (
+          match parse_sig_lines response.Http.Response.body with
+          | Error _ as e -> e
+          | Ok set -> verified t ~mode:`Snapshot ~version ~advertised set)
+        | Some other -> Error (Printf.sprintf "unknown transfer mode %S" other)))
+    | status -> Error (Printf.sprintf "unexpected status %d" status))
+
+let sync t ~transport =
+  t.last_mode <- None;
+  let report =
+    Signature_client.sync t.inner ~fetch:(fun ~since ->
+        fetch t ~transport ~since)
+  in
+  (match (report.Signature_client.outcome, t.last_mode) with
+  | Signature_client.Updated _, Some `Delta ->
+    t.delta_updates <- t.delta_updates + 1
+  | Signature_client.Updated _, Some `Snapshot ->
+    t.snapshot_updates <- t.snapshot_updates + 1
+  | _ -> ());
+  report

@@ -1,0 +1,66 @@
+(** Device-side incremental sync against the {!Authority}.
+
+    Wraps {!Leakdetect_monitor.Signature_client} — the retry / backoff /
+    health machine is reused unchanged — and supplies it a fetch function
+    that speaks the delta protocol:
+
+    - ask for [?tenant=T&since=V]; a [delta]-mode answer is a changelog
+      suffix applied entry-by-entry on top of the local set (idempotent:
+      [Add] replaces by id, [Retire] of an absent id is a no-op);
+    - the advertised [X-Signature-Checksum] must match the CRC of the
+      set the client lands on — on mismatch, or on a non-consecutive
+      entry suffix (a gap), the client {e within the same attempt}
+      re-requests a full snapshot with [full=1];
+    - a response whose version is below the client's is refused (counted,
+      never applied): committed versions are monotonic, so a regression
+      signals a lying or rolled-back server.
+
+    All waiting is in abstract backoff ticks, as in the wrapped client. *)
+
+module Signature = Leakdetect_core.Signature
+module Signature_client = Leakdetect_monitor.Signature_client
+
+type t
+
+val create :
+  ?config:Signature_client.config ->
+  ?obs:Leakdetect_obs.Obs.t ->
+  ?seed:int ->
+  tenant:string ->
+  unit ->
+  t
+(** Starts at version 0 with no signatures.  [seed] drives backoff jitter.
+    @raise Invalid_argument on a bad tenant id. *)
+
+val tenant : t -> string
+val version : t -> int
+val signatures : t -> Signature.t list
+(** Last-known-good set, id-ascending. *)
+
+val checksum : t -> int
+(** {!Changelog.checksum_set} of {!signatures}. *)
+
+val health : t -> Signature_client.health
+val staleness : t -> Signature_client.staleness
+val last_error : t -> string option
+
+type counters = {
+  delta_updates : int;  (** Updates assembled from a changelog suffix. *)
+  snapshot_updates : int;  (** Updates downloaded as a full set. *)
+  forced_full : int;
+      (** Delta attempts that fell back to [full=1] mid-attempt (gap,
+          checksum mismatch, or sub-horizon [since]). *)
+  regressions_refused : int;
+      (** Responses advertising a version below ours, dropped unapplied. *)
+}
+
+val counters : t -> counters
+
+val sync :
+  t ->
+  transport:(string -> (string, string) result) ->
+  Signature_client.sync_report
+(** One sync round through [transport] (printed request bytes in,
+    printed response bytes out — wrap {!Authority.wire_transport} in a
+    fault plan to exercise it).  Retry, backoff and health transitions
+    are the wrapped client's. *)

@@ -84,6 +84,10 @@ let staleness t =
 
 let last_error t = t.last_error
 
+type fetched =
+  | Up_to_date of { observed : int option }
+  | Set of { version : int; signatures : Signature.t list }
+
 type outcome = Updated of int | Unchanged | Failed of string
 
 type sync_report = { outcome : outcome; attempts : int; waited : int }
@@ -136,8 +140,14 @@ let sync t ~fetch =
     | Ok payload ->
       let outcome =
         match payload with
-        | None -> Unchanged
-        | Some (version, signatures) ->
+        | Up_to_date { observed } ->
+          (* A 304 carrying the server's version still tells a lagging
+             client how far behind it is — without a body fetch. *)
+          (match observed with
+          | Some v -> t.version_gap <- max 0 (v - t.version)
+          | None -> ());
+          Unchanged
+        | Set { version; signatures } ->
           t.version_gap <- max 0 (version - t.version - 1);
           t.version <- version;
           t.signatures <- signatures;

@@ -87,6 +87,16 @@ type staleness = {
 val staleness : t -> staleness
 val last_error : t -> string option
 
+type fetched =
+  | Up_to_date of { observed : int option }
+      (** The server answered 304; [observed] is the version it advertised
+          in [X-Signature-Version], letting a lagging client record its
+          gap without a body fetch. *)
+  | Set of {
+      version : int;
+      signatures : Leakdetect_core.Signature.t list;
+    }  (** A newer set was downloaded (or assembled from a delta). *)
+
 type outcome =
   | Updated of int  (** New signature version installed. *)
   | Unchanged  (** Server confirmed we are up to date. *)
@@ -95,10 +105,8 @@ type outcome =
 type sync_report = { outcome : outcome; attempts : int; waited : int }
 (** [attempts] = fetch calls made; [waited] = backoff ticks accumulated. *)
 
-val sync :
-  t ->
-  fetch:(since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result) ->
-  sync_report
+val sync : t -> fetch:(since:int -> (fetched, string) result) -> sync_report
 (** One synchronisation round: fetches with [since] = current version,
     retrying with backoff up to [max_attempts] times, then updates the
-    health state machine. *)
+    health state machine.  On [Up_to_date] with an observed version ahead
+    of ours, [staleness.version_gap] records the distance. *)

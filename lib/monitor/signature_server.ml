@@ -29,13 +29,31 @@ let restore ?(obs = Obs.noop) ~version ~signatures () =
   t
 
 let publish t signatures =
-  t.version <- t.version + 1;
-  t.signatures <- signatures;
-  Obs.Counter.inc
-    (Obs.counter t.obs ~help:"Signature sets published."
-       "leakdetect_server_publishes_total");
-  set_gauges t;
-  t.version
+  (* A byte-identical set must not bump the version: clients compare
+     versions to decide whether to download, and a gratuitous bump makes
+     every one of them re-fetch an unchanged set.  (A first publish of an
+     empty set still moves 0 -> 1: "published empty" differs from "never
+     published".) *)
+  if
+    t.version > 0
+    && List.map Signature_io.to_line signatures
+       = List.map Signature_io.to_line t.signatures
+  then begin
+    Obs.Counter.inc
+      (Obs.counter t.obs
+         ~help:"Publishes of a byte-identical set (no version bump)."
+         "leakdetect_server_publish_noops_total");
+    t.version
+  end
+  else begin
+    t.version <- t.version + 1;
+    t.signatures <- signatures;
+    Obs.Counter.inc
+      (Obs.counter t.obs ~help:"Signature sets published."
+         "leakdetect_server_publishes_total");
+    set_gauges t;
+    t.version
+  end
 
 let current_version t = t.version
 let signatures t = t.signatures
@@ -73,7 +91,14 @@ let handle t (request : Http.Request.t) =
     in
     match since with
     | None -> Http.Response.make 400
-    | Some since when since >= t.version -> Http.Response.make 304
+    | Some since when since >= t.version ->
+      (* The version header rides on the 304 too, so a Degraded/Stale
+         client can measure its gap without a body fetch. *)
+      Http.Response.make
+        ~headers:
+          (Http.Headers.of_list
+             [ ("X-Signature-Version", string_of_int t.version) ])
+        304
     | Some _ ->
       let headers =
         Http.Headers.of_list
@@ -113,15 +138,16 @@ let fetch_via ~transport ~since =
           (Printf.sprintf "content-length mismatch: declared %d, got %d" n
              (String.length body))
       | _ -> (
+        let observed_version =
+          Option.bind
+            (Http.Headers.get response.Http.Response.headers "X-Signature-Version")
+            int_of_string_opt
+        in
         match response.Http.Response.status with
-        | 304 -> Ok None
+        | 304 ->
+          Ok (Signature_client.Up_to_date { observed = observed_version })
         | 200 -> (
-          let version =
-            Option.bind
-              (Http.Headers.get response.Http.Response.headers "X-Signature-Version")
-              int_of_string_opt
-          in
-          match version with
+          match observed_version with
           | None -> Error "missing version header"
           | Some version ->
             let lines = if body = "" then [] else String.split_on_char '\n' body in
@@ -133,7 +159,8 @@ let fetch_via ~transport ~since =
                 | Error e -> Error e)
             in
             (match parse_all [] lines with
-            | Ok signatures -> Ok (Some (version, signatures))
+            | Ok signatures ->
+              Ok (Signature_client.Set { version; signatures })
             | Error e ->
               Error ("bad signature line: " ^ Leak_error.to_string e)))
         | status -> Error (Printf.sprintf "unexpected status %d" status))))

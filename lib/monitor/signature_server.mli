@@ -24,7 +24,11 @@ val restore :
     @raise Invalid_argument on a negative version. *)
 
 val publish : t -> Leakdetect_core.Signature.t list -> int
-(** Installs a new signature set; returns the new version (starting at 1). *)
+(** Installs a new signature set; returns the new version (starting at 1).
+    Publishing a set byte-identical to the current one is a no-op — the
+    version is returned unchanged (and a
+    [leakdetect_server_publish_noops_total] counter ticks), so clients are
+    not forced to re-download an unchanged set. *)
 
 val current_version : t -> int
 (** 0 before the first {!publish}. *)
@@ -44,7 +48,8 @@ val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
 (** [GET /signatures?since=V]:
     - [200] with version header and signature body when [V] is older than
       the current version;
-    - [304] when the device is up to date;
+    - [304] when the device is up to date — the version header is carried
+      here too, so a lagging client can measure its gap cheaply;
     - [400] on a malformed request, [404] on unknown paths, [405] (with an
       [Allow: GET] header) for non-GET methods.
 
@@ -59,14 +64,14 @@ val wire_transport : t -> string -> (string, string) result
 val fetch_via :
   transport:(string -> (string, string) result) ->
   since:int ->
-  ((int * Leakdetect_core.Signature.t list) option, string) result
+  (Signature_client.fetched, string) result
 (** Device-side update check over an arbitrary transport: prints the
     request, ships it through [transport], parses and validates the
     response (status, [Content-Length] consistency against the actual
-    body, version header, signature lines).  [Ok None] means up-to-date. *)
+    body, version header, signature lines).  A 304 becomes
+    [Up_to_date] carrying the advertised version, if any. *)
 
-val fetch :
-  t -> since:int -> ((int * Leakdetect_core.Signature.t list) option, string) result
+val fetch : t -> since:int -> (Signature_client.fetched, string) result
 (** [fetch_via] over the server's own {!wire_transport}. *)
 
 val metrics_body : t -> string

@@ -1,0 +1,675 @@
+(* Tests for the distribution tier (Leakdetect_distrib): changelog
+   algebra and codec, authority HTTP protocol and k-anonymous promotion,
+   journal crash-point sweeps, the delta client's fallback ladder, and a
+   miniature end-to-end fault soak. *)
+
+module Crc32 = Leakdetect_util.Crc32
+module Fault = Leakdetect_fault.Fault
+module Wal = Leakdetect_store.Wal
+module Http = Leakdetect_http
+module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
+module Signature_client = Leakdetect_monitor.Signature_client
+module Changelog = Leakdetect_distrib.Changelog
+module Authority = Leakdetect_distrib.Authority
+module Delta_client = Leakdetect_distrib.Delta_client
+module Soak = Leakdetect_distrib.Soak
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- scratch directories --- *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "ld_distrib_test" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let sig_ ?(mode = Signature.Conjunction) ?(cluster_size = 2) id tokens =
+  Signature.make ~id ~mode ~cluster_size tokens
+
+let s1 = sig_ 1 [ "imei=355021930123456"; "loc=35.6" ]
+let s2 = sig_ 2 ~mode:Signature.Ordered [ "GET"; "/track"; "id=9774d56d" ]
+let s3 = sig_ 3 [ "mac=00:11:22:33:44:55" ]
+
+let lines set = String.concat "\n" (List.map Signature_io.to_line set)
+
+let check_set msg expected got =
+  Alcotest.(check string) msg (lines expected) (lines got)
+
+(* --- changelog --- *)
+
+let test_changelog_ops () =
+  let log = Changelog.create () in
+  Alcotest.(check int) "fresh version" 0 (Changelog.version log);
+  let e1 = Changelog.append log (Changelog.Add s1) in
+  Alcotest.(check int) "first entry at v1" 1 e1.Changelog.version;
+  ignore (Changelog.append log (Changelog.Add s3));
+  ignore (Changelog.append log (Changelog.Add s2));
+  check_set "id-ascending regardless of append order" [ s1; s2; s3 ]
+    (Changelog.current log);
+  (* Add with an existing id replaces. *)
+  let s1' = sig_ 1 [ "imei=355021930123456"; "loc=51.5" ] in
+  ignore (Changelog.append log (Changelog.Add s1'));
+  check_set "replace by id" [ s1'; s2; s3 ] (Changelog.current log);
+  ignore (Changelog.append log (Changelog.Retire 2));
+  check_set "retire removes" [ s1'; s3 ] (Changelog.current log);
+  Alcotest.(check int) "version counts every change" 5 (Changelog.version log);
+  (* Retire of an absent id is a no-op on the set but still a version. *)
+  ignore (Changelog.append log (Changelog.Retire 99));
+  check_set "absent retire no-op" [ s1'; s3 ] (Changelog.current log);
+  Alcotest.(check int) "next id above every add" 4 (Changelog.next_id log);
+  (* checksum_at answers at every retained version. *)
+  (match Changelog.checksum_at log 2 with
+  | Some sum ->
+    Alcotest.(check int) "checksum_at matches replay" sum
+      (Changelog.checksum_set [ s1; s3 ])
+  | None -> Alcotest.fail "checksum_at must answer above the horizon");
+  Alcotest.(check (option int)) "checksum beyond head" None
+    (Changelog.checksum_at log 7)
+
+let test_changelog_since_and_compact () =
+  let log = Changelog.create () in
+  ignore (Changelog.append log (Changelog.Add s1));
+  ignore (Changelog.append log (Changelog.Add s2));
+  ignore (Changelog.append log (Changelog.Add s3));
+  ignore (Changelog.append log (Changelog.Retire 1));
+  (match Changelog.since log 2 with
+  | Some [ e3; e4 ] ->
+    Alcotest.(check (list int)) "suffix versions" [ 3; 4 ]
+      [ e3.Changelog.version; e4.Changelog.version ]
+  | _ -> Alcotest.fail "since 2 must be the two newest entries");
+  (match Changelog.since log 4 with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "since head must be the empty delta");
+  (match Changelog.since log 5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "since beyond head must be None");
+  Changelog.compact log ~keep:1;
+  Alcotest.(check int) "horizon advanced" 3 (Changelog.horizon log);
+  Alcotest.(check int) "head unchanged" 4 (Changelog.version log);
+  check_set "set unchanged by compaction" [ s2; s3 ] (Changelog.current log);
+  (match Changelog.since log 1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sub-horizon since must be None");
+  (match Changelog.since log 3 with
+  | Some [ e ] -> Alcotest.(check int) "servable suffix" 4 e.Changelog.version
+  | _ -> Alcotest.fail "since horizon must serve the kept entry");
+  Alcotest.(check (option int)) "checksum below horizon" None
+    (Changelog.checksum_at log 1);
+  (* next_id survives compaction: retired id 1 is never reissued. *)
+  Alcotest.(check int) "next_id preserved" 4 (Changelog.next_id log)
+
+let test_changelog_codec () =
+  let entries =
+    [ { Changelog.version = 1; change = Changelog.Add s2 };
+      { Changelog.version = 2; change = Changelog.Retire 7 };
+      { Changelog.version = 3;
+        change = Changelog.Add (sig_ 9 [ "tab\tin"; "line\nbreak" ]) } ]
+  in
+  List.iter
+    (fun e ->
+      match Changelog.entry_of_line (Changelog.entry_to_line e) with
+      | Ok e' ->
+        Alcotest.(check string) "line-stable roundtrip"
+          (Changelog.entry_to_line e) (Changelog.entry_to_line e')
+      | Error err -> Alcotest.fail err)
+    entries;
+  List.iter
+    (fun bad ->
+      match Changelog.entry_of_line bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must not decode" bad)
+    [ ""; "x\t1\tjunk"; "a\tnope\t"; "r\t1\tnotanid"; "a\t1"; "r\t-1\t3" ]
+
+let test_changelog_restore_rejects_gaps () =
+  let ok =
+    Changelog.restore ~base_version:2 ~base:[ s1 ] ~next_id:5
+      ~entries:[ { Changelog.version = 3; change = Changelog.Add s2 } ]
+  in
+  (match ok with
+  | Ok log ->
+    Alcotest.(check int) "restored head" 3 (Changelog.version log);
+    check_set "restored set" [ s1; s2 ] (Changelog.current log)
+  | Error e -> Alcotest.fail e);
+  match
+    Changelog.restore ~base_version:2 ~base:[ s1 ] ~next_id:5
+      ~entries:[ { Changelog.version = 5; change = Changelog.Add s2 } ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a version gap must not restore"
+
+(* Any interleaving of adds/retires, compacted anywhere: the delta served
+   from every servable [since] lands exactly on the full set. *)
+let prop_delta_equals_snapshot =
+  let gen =
+    QCheck.make
+      ~print:(fun (ops, keep) ->
+        Printf.sprintf "%d ops, keep %d" (List.length ops) keep)
+      QCheck.Gen.(
+        pair
+          (list_size (1 -- 25)
+             (pair (int_range 0 1) (pair (int_range 1 8) (int_range 0 999))))
+          (int_range 0 10))
+  in
+  QCheck.Test.make ~name:"delta from any since equals the full download"
+    ~count:200 gen
+    (fun (ops, keep) ->
+      let log = Changelog.create () in
+      List.iter
+        (fun (kind, (id, tok)) ->
+          let change =
+            if kind = 0 then
+              Changelog.Add (sig_ id [ Printf.sprintf "t%d" tok ])
+            else Changelog.Retire id
+          in
+          ignore (Changelog.append log change))
+        ops;
+      Changelog.compact log ~keep;
+      let full = Changelog.current log in
+      let ok = ref true in
+      for since = 0 to Changelog.version log do
+        match Changelog.since log since with
+        | None -> if since >= Changelog.horizon log then ok := false
+        | Some entries ->
+          (* Rebuild the client-side set at [since] by replaying the log
+             from scratch — then apply the delta. *)
+          let at_since =
+            let log' = Changelog.create () in
+            List.iter
+              (fun (kind, (id, tok)) ->
+                if Changelog.version log' < since then
+                  ignore
+                    (Changelog.append log'
+                       (if kind = 0 then
+                          Changelog.Add (sig_ id [ Printf.sprintf "t%d" tok ])
+                        else Changelog.Retire id)))
+              ops;
+            Changelog.current log'
+          in
+          let landed =
+            List.fold_left
+              (fun set (e : Changelog.entry) ->
+                Changelog.apply_change set e.Changelog.change)
+              at_since entries
+          in
+          if lines landed <> lines full then ok := false
+      done;
+      !ok)
+
+(* --- authority: protocol --- *)
+
+let get target =
+  Http.Request.make
+    ~headers:(Http.Headers.of_list [ ("Host", "authority.test") ])
+    Http.Request.GET target
+
+let post target body =
+  Http.Request.make
+    ~headers:(Http.Headers.of_list [ ("Host", "authority.test") ])
+    ~body Http.Request.POST target
+
+let header r name = Http.Headers.get r.Http.Response.headers name
+
+let test_authority_http_statuses () =
+  let auth = Authority.create () in
+  let (_ : int) = Authority.publish auth ~tenant:"t0" [ s1; s2 ] in
+  let check_status msg expected request =
+    Alcotest.(check int) msg expected
+      (Authority.handle auth request).Http.Response.status
+  in
+  check_status "unknown path" 404 (get "/nope");
+  check_status "POST on /signatures" 405 (post "/signatures?tenant=t0" "");
+  check_status "GET on /candidates" 405 (get "/candidates?tenant=t0&reporter=r");
+  check_status "missing tenant" 400 (get "/signatures");
+  check_status "bad tenant id" 400 (get "/signatures?tenant=bad%20id");
+  check_status "unparseable since" 400 (get "/signatures?tenant=t0&since=banana");
+  check_status "negative since" 400 (get "/signatures?tenant=t0&since=-1");
+  check_status "bad reporter id" 400 (post "/candidates?tenant=t0&reporter=a%20b" "x");
+  check_status "empty candidate body" 400 (post "/candidates?tenant=t0&reporter=r" "");
+  (* 304 carries version and checksum headers. *)
+  let r = Authority.handle auth (get "/signatures?tenant=t0&since=2") in
+  Alcotest.(check int) "up-to-date is 304" 304 r.Http.Response.status;
+  Alcotest.(check (option string)) "304 version header" (Some "2")
+    (header r "X-Signature-Version");
+  Alcotest.(check (option string)) "304 checksum header"
+    (Some (Crc32.to_hex (Changelog.wire_checksum ~version:2 [ s1; s2 ])))
+    (header r "X-Signature-Checksum");
+  (* Delta mode for a servable suffix. *)
+  let r = Authority.handle auth (get "/signatures?tenant=t0&since=1") in
+  Alcotest.(check int) "delta is 200" 200 r.Http.Response.status;
+  Alcotest.(check (option string)) "delta mode" (Some "delta")
+    (header r "X-Signature-Mode");
+  Alcotest.(check (option string)) "since echoed" (Some "1")
+    (header r "X-Signature-Since");
+  Alcotest.(check string) "delta body is the suffix"
+    (Changelog.entry_to_line { Changelog.version = 2; change = Changelog.Add s2 })
+    r.Http.Response.body;
+  (* Snapshot when forced, and for an unknown (empty) tenant. *)
+  let r = Authority.handle auth (get "/signatures?tenant=t0&since=1&full=1") in
+  Alcotest.(check (option string)) "full=1 forces snapshot" (Some "snapshot")
+    (header r "X-Signature-Mode");
+  Alcotest.(check string) "snapshot body" (lines [ s1; s2 ]) r.Http.Response.body;
+  let r = Authority.handle auth (get "/signatures?tenant=ghost&full=1") in
+  Alcotest.(check int) "unknown tenant serves empty snapshot" 200
+    r.Http.Response.status;
+  Alcotest.(check string) "empty body" "" r.Http.Response.body
+
+let test_authority_snapshot_below_horizon () =
+  let auth = Authority.create ~config:{ Authority.default_config with compact_keep = 1 } () in
+  let publish set = ignore (Authority.publish auth ~tenant:"t0" set) in
+  publish [ s1 ];
+  publish [ s1; s2 ];
+  publish [ s1; s2; s3 ];
+  Authority.compact auth;
+  Alcotest.(check int) "horizon after compaction" 2
+    (Authority.horizon auth ~tenant:"t0");
+  let r = Authority.handle auth (get "/signatures?tenant=t0&since=1") in
+  Alcotest.(check (option string)) "sub-horizon since falls back to snapshot"
+    (Some "snapshot")
+    (header r "X-Signature-Mode");
+  let r = Authority.handle auth (get "/signatures?tenant=t0&since=2") in
+  Alcotest.(check (option string)) "at-horizon since still serves delta"
+    (Some "delta")
+    (header r "X-Signature-Mode")
+
+(* --- authority: k-anonymous promotion --- *)
+
+let candidate tokens = sig_ 0 ~cluster_size:1 tokens
+
+let test_promotion_at_k () =
+  let auth = Authority.create () in
+  let (_ : int) = Authority.publish auth ~tenant:"t0" [ s1 ] in
+  let c = candidate [ "cand"; "imsi=240080000000001" ] in
+  let report r = Authority.report_candidate auth ~tenant:"t0" ~reporter:r c in
+  (match report "alice" with
+  | Authority.Accepted 1 -> ()
+  | o -> Alcotest.failf "first report: %s" (Authority.candidate_outcome_to_string o));
+  (* The same reporter again is a duplicate, never double-counted. *)
+  (match report "alice" with
+  | Authority.Duplicate -> ()
+  | o -> Alcotest.failf "same reporter: %s" (Authority.candidate_outcome_to_string o));
+  (match report "bob" with
+  | Authority.Accepted 2 -> ()
+  | o -> Alcotest.failf "second report: %s" (Authority.candidate_outcome_to_string o));
+  Alcotest.(check int) "nothing published below k" 1
+    (Authority.version auth ~tenant:"t0");
+  (match report "carol" with
+  | Authority.Promoted 2 -> ()
+  | o -> Alcotest.failf "k-th report: %s" (Authority.candidate_outcome_to_string o));
+  (match Authority.signatures auth ~tenant:"t0" with
+  | [ _; s ] ->
+    Alcotest.(check int) "cluster_size is the reporter count" 3
+      s.Signature.cluster_size;
+    Alcotest.(check bool) "fresh id past the published set" true
+      (s.Signature.id > s1.Signature.id)
+  | _ -> Alcotest.fail "published set plus the promotion");
+  (match Authority.promotions auth with
+  | [ p ] ->
+    Alcotest.(check int) "audit trail records k reporters" 3
+      p.Authority.reporters
+  | _ -> Alcotest.fail "exactly one promotion audited");
+  (* Reporting an already-published signature is a duplicate. *)
+  match report "dave" with
+  | Authority.Duplicate -> ()
+  | o -> Alcotest.failf "published: %s" (Authority.candidate_outcome_to_string o)
+
+let test_reporter_cap () =
+  let auth =
+    Authority.create
+      ~config:{ Authority.default_config with reporter_cap = 2 } ()
+  in
+  let flood j =
+    Authority.report_candidate auth ~tenant:"t0" ~reporter:"byz"
+      (candidate [ "flood"; Printf.sprintf "z%d" j ])
+  in
+  (match flood 0 with Authority.Accepted 1 -> () | _ -> Alcotest.fail "first");
+  (match flood 1 with Authority.Accepted 1 -> () | _ -> Alcotest.fail "second");
+  (match flood 2 with
+  | Authority.Capped -> ()
+  | o -> Alcotest.failf "over cap: %s" (Authority.candidate_outcome_to_string o));
+  Alcotest.(check int) "pending stuck at the cap" 2
+    (Authority.pending_candidates auth ~tenant:"t0");
+  (* Promotion frees cap room: k distinct reporters on one candidate. *)
+  let c = candidate [ "flood"; "z0" ] in
+  ignore (Authority.report_candidate auth ~tenant:"t0" ~reporter:"r2" c);
+  (match Authority.report_candidate auth ~tenant:"t0" ~reporter:"r3" c with
+  | Authority.Promoted _ -> ()
+  | o -> Alcotest.failf "promotion: %s" (Authority.candidate_outcome_to_string o));
+  match flood 3 with
+  | Authority.Accepted 1 -> ()
+  | o ->
+    Alcotest.failf "cap must free after promotion: %s"
+      (Authority.candidate_outcome_to_string o)
+
+let test_candidates_endpoint_tally () =
+  let auth = Authority.create () in
+  let body =
+    String.concat "\n"
+      (List.map Signature_io.to_line
+         [ candidate [ "a"; "one" ]; candidate [ "a"; "two" ] ])
+  in
+  let r =
+    Authority.handle auth (post "/candidates?tenant=t0&reporter=r0" body)
+  in
+  Alcotest.(check int) "tally is 200" 200 r.Http.Response.status;
+  Alcotest.(check string) "tally body"
+    "accepted\t2\nduplicate\t0\npromoted\t0\ncapped\t0" r.Http.Response.body
+
+(* --- authority: durability and crash points --- *)
+
+let publish_sets auth =
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  ignore (Authority.publish auth ~tenant:"t1" [ s3 ])
+
+let reopen ~dir =
+  match Authority.open_ ~dir () with
+  | Ok (t, rep) -> (t, rep)
+  | Error e -> Alcotest.fail e
+
+let test_authority_reopen () =
+  with_dir (fun dir ->
+      let auth, rep = reopen ~dir in
+      Alcotest.(check bool) "fresh dir has no snapshot" true
+        (rep.Authority.snapshot = Authority.Absent);
+      publish_sets auth;
+      ignore
+        (Authority.report_candidate auth ~tenant:"t0" ~reporter:"r0"
+           (candidate [ "pending"; "one" ]));
+      let v0 = Authority.version auth ~tenant:"t0" in
+      let set0 = Authority.signatures auth ~tenant:"t0" in
+      Authority.close auth;
+      let auth', rep' = reopen ~dir in
+      Alcotest.(check bool) "clean tail" true (rep'.Authority.tail = Wal.Clean);
+      Alcotest.(check int) "version recovered" v0
+        (Authority.version auth' ~tenant:"t0");
+      check_set "set recovered byte-identically" set0
+        (Authority.signatures auth' ~tenant:"t0");
+      Alcotest.(check (list string)) "tenants recovered" [ "t0"; "t1" ]
+        (Authority.tenants auth');
+      Alcotest.(check int) "pending candidate recovered" 1
+        (Authority.pending_candidates auth' ~tenant:"t0");
+      Authority.close auth')
+
+(* Crash before each journal append of a multi-change publish: recovery
+   must land on exactly the committed prefix, and re-issuing the publish
+   must finish the job. *)
+let test_publish_crash_point_sweep () =
+  let desired = [ s1; s2; s3 ] in
+  (* The publish diffs an empty set into three adds: 3 crash points. *)
+  for crash_at = 0 to 2 do
+    with_dir (fun dir ->
+        let auth, _ = reopen ~dir in
+        (try
+           ignore
+             (Authority.publish auth
+                ~inject:(fun i ->
+                  if i = crash_at then raise (Authority.Crashed "boom"))
+                ~tenant:"t0" desired)
+         with Authority.Crashed _ -> ());
+        Authority.close auth;
+        let auth', _ = reopen ~dir in
+        Alcotest.(check int)
+          (Printf.sprintf "crash at %d: committed prefix only" crash_at)
+          crash_at
+          (Authority.version auth' ~tenant:"t0");
+        check_set
+          (Printf.sprintf "crash at %d: prefix of adds" crash_at)
+          (List.filteri (fun i _ -> i < crash_at) desired)
+          (Authority.signatures auth' ~tenant:"t0");
+        (* Re-issuing completes; the diff re-derives the missing tail. *)
+        ignore (Authority.publish auth' ~tenant:"t0" desired);
+        check_set
+          (Printf.sprintf "crash at %d: re-publish completes" crash_at)
+          desired
+          (Authority.signatures auth' ~tenant:"t0");
+        Authority.close auth')
+  done
+
+let test_compaction_crash_windows () =
+  List.iter
+    (fun window ->
+      with_dir (fun dir ->
+          let auth, _ = reopen ~dir in
+          publish_sets auth;
+          let v0 = Authority.version auth ~tenant:"t0" in
+          let sum0 = Authority.checksum auth ~tenant:"t0" in
+          (try
+             Authority.compact
+               ~inject:(fun p ->
+                 if p = window then raise (Authority.Crashed window))
+               auth
+           with Authority.Crashed _ -> ());
+          Authority.close auth;
+          let auth', _ = reopen ~dir in
+          Alcotest.(check int)
+            (window ^ ": version survives")
+            v0
+            (Authority.version auth' ~tenant:"t0");
+          Alcotest.(check int)
+            (window ^ ": checksum survives")
+            sum0
+            (Authority.checksum auth' ~tenant:"t0");
+          (* The recovered instance keeps working: mutate and recover again. *)
+          ignore (Authority.publish auth' ~tenant:"t0" [ s1 ]);
+          let v1 = Authority.version auth' ~tenant:"t0" in
+          Authority.close auth';
+          let auth'', _ = reopen ~dir in
+          Alcotest.(check int)
+            (window ^ ": post-recovery publish survives")
+            v1
+            (Authority.version auth'' ~tenant:"t0");
+          Authority.close auth''))
+    [ "pre_snapshot"; "post_snapshot" ]
+
+let test_promotion_crash_recovers () =
+  with_dir (fun dir ->
+      let auth, _ = reopen ~dir in
+      let c = candidate [ "cand"; "crashy" ] in
+      ignore (Authority.report_candidate auth ~tenant:"t0" ~reporter:"a" c);
+      ignore (Authority.report_candidate auth ~tenant:"t0" ~reporter:"b" c);
+      ignore (Authority.report_candidate auth ~tenant:"t0" ~reporter:"c" c);
+      Alcotest.(check int) "promoted live" 1 (Authority.version auth ~tenant:"t0");
+      Authority.close auth;
+      (* Replay sees three reports and the promotion's Add: the candidate
+         must not resurrect (it is already in the published set). *)
+      let auth', rep = reopen ~dir in
+      Alcotest.(check int) "no ghost candidate" 0
+        (Authority.pending_candidates auth' ~tenant:"t0");
+      Alcotest.(check int) "no re-promotion" 0 rep.Authority.promoted_on_recovery;
+      Alcotest.(check int) "version stable" 1
+        (Authority.version auth' ~tenant:"t0");
+      Authority.close auth')
+
+let test_torn_journal_tail () =
+  with_dir (fun dir ->
+      let auth, _ = reopen ~dir in
+      publish_sets auth;
+      let v0 = Authority.version auth ~tenant:"t0" in
+      Authority.close auth;
+      let path = Filename.concat dir "journal.log" in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "torn garbage that is not a frame";
+      close_out oc;
+      let auth', rep = reopen ~dir in
+      (match rep.Authority.tail with
+      | Wal.Torn _ -> ()
+      | Wal.Clean -> Alcotest.fail "garbage tail must be reported torn");
+      Alcotest.(check int) "committed versions survive the tear" v0
+        (Authority.version auth' ~tenant:"t0");
+      Authority.close auth')
+
+(* --- delta client --- *)
+
+let loss_free auth raw = Authority.wire_transport auth raw
+
+let new_client tenant = Delta_client.create ~seed:7 ~tenant ()
+
+let sync_updated msg client transport =
+  match (Delta_client.sync client ~transport).Signature_client.outcome with
+  | Signature_client.Updated v -> v
+  | Signature_client.Unchanged -> Alcotest.failf "%s: unchanged" msg
+  | Signature_client.Failed e -> Alcotest.failf "%s: failed: %s" msg e
+
+let test_delta_client_happy_path () =
+  let auth = Authority.create () in
+  let c = new_client "t0" in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let v = sync_updated "bootstrap" c (loss_free auth) in
+  Alcotest.(check int) "bootstrap lands on head" 1 v;
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  ignore (sync_updated "incremental" c (loss_free auth));
+  check_set "delta-assembled set" [ s1; s2 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  (* The bootstrap from since=0 is itself a servable suffix: both syncs
+     count as deltas. *)
+  Alcotest.(check int) "both syncs were deltas" 2 k.Delta_client.delta_updates;
+  Alcotest.(check int) "no forced fulls" 0 k.Delta_client.forced_full;
+  match (Delta_client.sync c ~transport:(loss_free auth)).Signature_client.outcome with
+  | Signature_client.Unchanged -> ()
+  | _ -> Alcotest.fail "up-to-date sync must be Unchanged"
+
+let test_delta_client_gap_forces_full () =
+  let auth =
+    Authority.create ~config:{ Authority.default_config with compact_keep = 1 } ()
+  in
+  let c = new_client "t0" in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  ignore (sync_updated "bootstrap" c (loss_free auth));
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2; s3 ]);
+  Authority.compact auth;
+  (* since=1 is now below the horizon: the server answers snapshot. *)
+  ignore (sync_updated "catch-up" c (loss_free auth));
+  check_set "snapshot catch-up" [ s1; s2; s3 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check int) "counted as snapshot" 1 k.Delta_client.snapshot_updates
+
+let test_delta_client_rejects_corrupt_body () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  let c = new_client "t0" in
+  (* Corrupt a signature token in transit, leaving the frame parseable:
+     the wire checksum must catch it and the same attempt must recover
+     via full=1 (which we serve uncorrupted). *)
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let transport raw =
+    match Authority.wire_transport auth raw with
+    | Error _ as e -> e
+    | Ok response ->
+      if find_sub raw "full=1" <> None then Ok response
+      else (
+        match find_sub response "imei" with
+        | None -> Ok response
+        | Some i ->
+          let b = Bytes.of_string response in
+          Bytes.set b (i + 2) 'X';
+          Ok (Bytes.to_string b))
+  in
+  ignore (sync_updated "corrupt delta falls back" c transport);
+  check_set "landed on the true set" [ s1; s2 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check int) "forced full counted" 1 k.Delta_client.forced_full
+
+let test_delta_client_refuses_regression () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  let c = new_client "t0" in
+  ignore (sync_updated "bootstrap" c (loss_free auth));
+  (* A rolled-back authority now serves version 1 < client's 2. *)
+  let rolled = Authority.create () in
+  ignore (Authority.publish rolled ~tenant:"t0" [ s3 ]);
+  (match (Delta_client.sync c ~transport:(loss_free rolled)).Signature_client.outcome with
+  | Signature_client.Failed _ -> ()
+  | _ -> Alcotest.fail "regression must fail the sync");
+  Alcotest.(check int) "client version untouched" 2 (Delta_client.version c);
+  check_set "client set untouched" [ s1; s2 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check bool) "refusals counted" true
+    (k.Delta_client.regressions_refused > 0)
+
+(* --- mini soak: end-to-end, faults and crash points on --- *)
+
+let test_mini_soak () =
+  with_dir (fun dir ->
+      let config =
+        {
+          Soak.default_config with
+          Soak.clients = 24;
+          ticks = 240;
+          sync_period = 12;
+          publishes = 10;
+          compact_every = 4;
+          candidates = 3;
+          byzantine = 1;
+          drain_rounds = 30;
+          seed = 5;
+        }
+      in
+      let report = Soak.run ~dir config in
+      let inv = report.Soak.invariants in
+      Alcotest.(check int) "no divergence" 0 inv.Soak.divergences;
+      Alcotest.(check int) "no regressions" 0 inv.Soak.regressions;
+      Alcotest.(check int) "no sub-k promotions" 0 inv.Soak.sub_k_promotions;
+      Alcotest.(check int) "no recovery mismatches" 0 inv.Soak.recovery_mismatches;
+      Alcotest.(check int) "everyone converged" 0 inv.Soak.unconverged;
+      Alcotest.(check bool) "ok" true (Soak.ok report);
+      Alcotest.(check bool) "faults actually fired" true
+        (List.exists (fun (_, n) -> n > 0) report.Soak.fault_events);
+      Alcotest.(check bool) "deltas dominate snapshots" true
+        (report.Soak.steady_delta_ratio >= 1.0))
+
+let suite =
+  [ ( "distrib.changelog",
+      [ Alcotest.test_case "ops" `Quick test_changelog_ops;
+        Alcotest.test_case "since + compact" `Quick
+          test_changelog_since_and_compact;
+        Alcotest.test_case "entry codec" `Quick test_changelog_codec;
+        Alcotest.test_case "restore rejects gaps" `Quick
+          test_changelog_restore_rejects_gaps;
+        qtest prop_delta_equals_snapshot ] );
+    ( "distrib.authority",
+      [ Alcotest.test_case "http statuses" `Quick test_authority_http_statuses;
+        Alcotest.test_case "snapshot below horizon" `Quick
+          test_authority_snapshot_below_horizon;
+        Alcotest.test_case "promotion at k" `Quick test_promotion_at_k;
+        Alcotest.test_case "reporter cap" `Quick test_reporter_cap;
+        Alcotest.test_case "candidates tally" `Quick
+          test_candidates_endpoint_tally ] );
+    ( "distrib.durability",
+      [ Alcotest.test_case "reopen replays" `Quick test_authority_reopen;
+        Alcotest.test_case "publish crash-point sweep" `Quick
+          test_publish_crash_point_sweep;
+        Alcotest.test_case "compaction crash windows" `Quick
+          test_compaction_crash_windows;
+        Alcotest.test_case "promotion crash recovers" `Quick
+          test_promotion_crash_recovers;
+        Alcotest.test_case "torn journal tail" `Quick test_torn_journal_tail ] );
+    ( "distrib.delta_client",
+      [ Alcotest.test_case "happy path" `Quick test_delta_client_happy_path;
+        Alcotest.test_case "horizon gap falls back" `Quick
+          test_delta_client_gap_forces_full;
+        Alcotest.test_case "corrupt body falls back" `Quick
+          test_delta_client_rejects_corrupt_body;
+        Alcotest.test_case "regression refused" `Quick
+          test_delta_client_refuses_regression ] );
+    ("distrib.soak", [ Alcotest.test_case "mini soak" `Quick test_mini_soak ]) ]

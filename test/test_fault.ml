@@ -377,9 +377,18 @@ let test_client_health_state_machine () =
   Alcotest.(check int) "still at v1" 1 (Signature_client.version client);
   Alcotest.(check bool) "last error kept" true
     (Signature_client.last_error client = Some "no route to server");
-  (* Recovery: the next good sync returns to Healthy and records the gap. *)
-  ignore (Signature_server.publish server signatures);
-  ignore (Signature_server.publish server signatures);
+  (* Recovery: the next good sync returns to Healthy and records the gap.
+     (The sets must actually differ — identical publishes no longer bump
+     the version.) *)
+  let grown n =
+    signatures
+    @ List.init n (fun i ->
+          Signature.make ~id:(10 + i) ~mode:Signature.Conjunction
+            ~cluster_size:1
+            [ Printf.sprintf "imsi=24008%09d" i ])
+  in
+  ignore (Signature_server.publish server (grown 1));
+  ignore (Signature_server.publish server (grown 2));
   ignore (Signature_client.sync client ~fetch:(Signature_server.fetch server));
   Alcotest.(check string) "healthy again" "healthy"
     (Signature_client.health_to_string (Signature_client.health client));
@@ -449,8 +458,15 @@ let test_chaos_sync_converges () =
   in
   let fetch = Signature_server.fetch_via ~transport in
   let client = Signature_client.create ~seed:1 () in
-  for _round = 1 to 5 do
-    ignore (Signature_server.publish server signatures);
+  for round = 1 to 5 do
+    let set =
+      signatures
+      @ List.init round (fun i ->
+            Signature.make ~id:(10 + i) ~mode:Signature.Conjunction
+              ~cluster_size:1
+              [ Printf.sprintf "imsi=24008%09d" i ])
+    in
+    ignore (Signature_server.publish server set);
     ignore (Signature_client.sync client ~fetch)
   done;
   let extra = ref 0 in

@@ -7,4 +7,4 @@ let () =
    @ Test_android.suite @ Test_monitor.suite @ Test_baseline.suite
    @ Test_extensions.suite @ Test_fault.suite @ Test_store.suite
    @ Test_parallel.suite @ Test_obs.suite @ Test_normalize.suite
-   @ Test_adversary.suite @ Test_integration.suite)
+   @ Test_adversary.suite @ Test_distrib.suite @ Test_integration.suite)

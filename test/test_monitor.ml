@@ -254,22 +254,69 @@ let test_server_fetch_cycle () =
   Alcotest.(check int) "initial version" 0 (Signature_server.current_version server);
   (* Device checks before anything is published: up to date. *)
   (match Signature_server.fetch server ~since:0 with
-  | Ok None -> ()
+  | Ok (Signature_client.Up_to_date _) -> ()
   | _ -> Alcotest.fail "expected up-to-date");
   let v1 = Signature_server.publish server signatures in
   Alcotest.(check int) "published v1" 1 v1;
   (match Signature_server.fetch server ~since:0 with
-  | Ok (Some (v, sigs)) ->
+  | Ok (Signature_client.Set { version = v; signatures = sigs }) ->
     Alcotest.(check int) "fetched version" 1 v;
     Alcotest.(check int) "signature count" (List.length signatures) (List.length sigs);
     Alcotest.(check (list string)) "tokens preserved"
       (List.concat_map (fun s -> s.Signature.tokens) signatures)
       (List.concat_map (fun s -> s.Signature.tokens) sigs)
-  | Ok None -> Alcotest.fail "expected update"
+  | Ok (Signature_client.Up_to_date _) -> Alcotest.fail "expected update"
   | Error e -> Alcotest.failf "fetch: %s" e);
   (match Signature_server.fetch server ~since:1 with
-  | Ok None -> ()
+  | Ok (Signature_client.Up_to_date { observed }) ->
+    Alcotest.(check (option int)) "304 carries the version" (Some 1) observed
   | _ -> Alcotest.fail "expected 304 path")
+
+(* Satellite regressions: identical publishes must not bump the version,
+   and the 304 version header must let a lagging client measure its gap. *)
+let test_publish_identical_is_noop () =
+  let server = Signature_server.create () in
+  let v1 = Signature_server.publish server signatures in
+  Alcotest.(check int) "first publish" 1 v1;
+  let v_same = Signature_server.publish server signatures in
+  Alcotest.(check int) "identical publish keeps version" 1 v_same;
+  (* A client already at v1 must not be told to re-download. *)
+  (match Signature_server.fetch server ~since:1 with
+  | Ok (Signature_client.Up_to_date _) -> ()
+  | _ -> Alcotest.fail "expected 304 after no-op publish");
+  let changed =
+    signatures
+    @ [ Signature.make ~id:7 ~mode:Signature.Conjunction ~cluster_size:1
+          [ "imsi=240080000000017" ] ]
+  in
+  Alcotest.(check int) "real change still bumps" 2
+    (Signature_server.publish server changed);
+  (* Empty is a real state too: first publish of [] moves 0 -> 1. *)
+  let empty_server = Signature_server.create () in
+  Alcotest.(check int) "first empty publish bumps" 1
+    (Signature_server.publish empty_server []);
+  Alcotest.(check int) "repeated empty publish is a no-op" 1
+    (Signature_server.publish empty_server [])
+
+let test_client_records_gap_from_304 () =
+  let server = Signature_server.create () in
+  ignore (Signature_server.publish server signatures);
+  let client = Signature_client.create () in
+  ignore (Signature_client.sync client ~fetch:(Signature_server.fetch server));
+  Alcotest.(check int) "client at v1" 1 (Signature_client.version client);
+  (* A 304 whose header shows a version ahead of ours records the gap
+     without a body fetch.  (A real server would 200 here; the point is
+     the client believes the header, not the body.) *)
+  let fetch ~since:_ =
+    Ok (Signature_client.Up_to_date { observed = Some 4 })
+  in
+  (match (Signature_client.sync client ~fetch).Signature_client.outcome with
+  | Signature_client.Unchanged -> ()
+  | _ -> Alcotest.fail "expected Unchanged");
+  Alcotest.(check int) "gap recorded from 304 header" 3
+    (Signature_client.staleness client).Signature_client.version_gap;
+  Alcotest.(check int) "set untouched" 1
+    (List.length (Signature_client.signatures client))
 
 let test_server_http_statuses () =
   let server = Signature_server.create () in
@@ -299,7 +346,8 @@ let test_server_drives_monitor () =
     (Flow_control.decision_to_string (Flow_control.process monitor ~app_id:1 (leak_packet ())));
   ignore (Signature_server.publish server signatures);
   (match Signature_server.fetch server ~since:0 with
-  | Ok (Some (_, sigs)) -> Flow_control.update_signatures monitor sigs
+  | Ok (Signature_client.Set { signatures = sigs; _ }) ->
+    Flow_control.update_signatures monitor sigs
   | _ -> Alcotest.fail "fetch failed");
   Alcotest.(check string) "after fetch, leak prompts" "prompted:stopped"
     (Flow_control.decision_to_string (Flow_control.process monitor ~app_id:1 (leak_packet ())))
@@ -327,6 +375,9 @@ let suite =
     ( "monitor.signature_server",
       [
         Alcotest.test_case "fetch cycle" `Quick test_server_fetch_cycle;
+        Alcotest.test_case "identical publish is a no-op" `Quick
+          test_publish_identical_is_noop;
+        Alcotest.test_case "304 version gap" `Quick test_client_records_gap_from_304;
         Alcotest.test_case "http statuses" `Quick test_server_http_statuses;
         Alcotest.test_case "drives the monitor" `Quick test_server_drives_monitor;
       ] );
