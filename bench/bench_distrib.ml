@@ -16,6 +16,7 @@ module Json = Leakdetect_util.Json
 module Signature = Leakdetect_core.Signature
 module Authority = Leakdetect_distrib.Authority
 module Delta_client = Leakdetect_distrib.Delta_client
+module Topology = Leakdetect_distrib.Topology
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -171,6 +172,34 @@ let bench_sync ~versions ~rounds lag =
       ( "bytes_saved_ratio",
         Json.Float (float_of_int f_bytes /. float_of_int (max 1 d_bytes)) ) ]
 
+(* Relay offload: run the multi-node topology soak and report what share
+   of client sync traffic the relay tier absorbed — the number the
+   horizontal tier exists to move. *)
+let bench_offload ~clients ~ticks =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let config =
+        { Topology.default_config with Topology.clients; ticks }
+      in
+      let report, s = time (fun () -> Topology.run ~dir config) in
+      Printf.printf
+        "%4d clients x %4d ticks: offload %5.1f%% (%d relay / %d origin requests), %d escalations, %.1f ms\n%!"
+        clients ticks
+        (report.Topology.offload *. 100.)
+        report.Topology.relay_requests report.Topology.origin_requests
+        report.Topology.escalations (1000. *. s);
+      Json.Obj
+        [ ("clients", Json.Int clients);
+          ("ticks", Json.Int ticks);
+          ("relay_requests", Json.Int report.Topology.relay_requests);
+          ("origin_requests", Json.Int report.Topology.origin_requests);
+          ("offload", Json.Float report.Topology.offload);
+          ("escalations", Json.Int report.Topology.escalations);
+          ("ok", Json.Bool (Topology.ok report));
+          ("run_s", Json.Float s) ])
+
 let () =
   Printf.printf "distribution tier benchmark (%s)\n%!"
     (if quick then "quick" else "full");
@@ -183,12 +212,18 @@ let () =
   Printf.printf "-- sync cost vs lag (head at %d versions, %d clients each) --\n%!"
     versions rounds;
   let sync_rows = List.map (bench_sync ~versions ~rounds) lags in
+  Printf.printf "-- relay offload (topology soak) --\n%!";
+  let offload_row =
+    if quick then bench_offload ~clients:60 ~ticks:800
+    else bench_offload ~clients:250 ~ticks:2_000
+  in
   let doc =
     Json.Obj
       [ ("bench", Json.String "distrib");
         ("quick", Json.Bool quick);
         ("publish", Json.List publish_rows);
-        ("sync_vs_lag", Json.List sync_rows) ]
+        ("sync_vs_lag", Json.List sync_rows);
+        ("relay_offload", offload_row) ]
   in
   let oc = open_out "BENCH_distrib.json" in
   output_string oc (Json.to_string_pretty doc);

@@ -50,6 +50,7 @@ module Mutator = Leakdetect_adversary.Mutator
 module Harness = Leakdetect_adversary.Harness
 module Json = Leakdetect_util.Json
 module Soak = Leakdetect_distrib.Soak
+module Topology = Leakdetect_distrib.Topology
 
 let exit_err fmt = Printf.ksprintf (fun m -> prerr_endline ("leakdetect: " ^ m); exit 1) fmt
 
@@ -1326,7 +1327,9 @@ let soak_cmd =
   let run () seed clients tenants ticks sync_period publishes compact_every k
       reporter_cap candidates byzantine drop corrupt server_error
       server_crash_rate client_restart_rate drain_rounds min_delta_ratio
-      state_dir json_out metrics_out =
+      topology origins standby_origins relays byzantine_relays
+      byzantine_corrupt relay_sync_period partitions partition_ticks
+      relay_crashes epoch_flips min_offload state_dir json_out metrics_out =
     let config =
       {
         Soak.default_config with
@@ -1365,32 +1368,91 @@ let soak_cmd =
         Sys.mkdir d 0o755;
         (d, true)
     in
-    let report =
-      Fun.protect
-        ~finally:(fun () -> if cleanup_root then rm_rf state_root)
-        (fun () ->
-          let dir = Filename.concat state_root "authority" in
-          if Sys.file_exists dir then rm_rf dir;
-          try Soak.run ~obs ~dir config
-          with Invalid_argument m -> exit_err "%s" m)
+    let emit_metrics () =
+      match metrics_out with
+      | None -> ()
+      | Some "-" -> print_string (Obs.to_prometheus obs)
+      | Some path ->
+        spit path (Obs.to_prometheus obs);
+        Printf.printf "metrics written to %s\n" path
     in
-    print_endline (Soak.summary report);
-    (match json_out with
-    | None -> ()
-    | Some "-" -> print_endline (Json.to_string_pretty (Soak.report_to_json report))
-    | Some path ->
-      spit path (Json.to_string_pretty (Soak.report_to_json report));
-      Printf.printf "soak report written to %s\n" path);
-    (match metrics_out with
-    | None -> ()
-    | Some "-" -> print_string (Obs.to_prometheus obs)
-    | Some path ->
-      spit path (Obs.to_prometheus obs);
-      Printf.printf "metrics written to %s\n" path);
-    if not (Soak.ok report) then exit_err "soak invariants violated";
-    if report.Soak.steady_delta_ratio < min_delta_ratio then
-      exit_err "steady-state delta ratio %.1f below floor %.1f"
-        report.Soak.steady_delta_ratio min_delta_ratio
+    if topology then begin
+      let tconfig =
+        {
+          Topology.default_config with
+          Topology.origins;
+          standby_origins;
+          relays;
+          byzantine_relays;
+          byzantine_corrupt_rate = byzantine_corrupt;
+          clients;
+          tenants;
+          ticks;
+          sync_period;
+          relay_sync_period;
+          publishes;
+          compact_every;
+          k;
+          reporter_cap;
+          candidates;
+          byzantine;
+          fault = config.Soak.fault;
+          partitions;
+          partition_ticks;
+          relay_crashes;
+          epoch_flips;
+          origin_crash_rate = server_crash_rate;
+          client_restart_rate;
+          min_offload;
+          drain_rounds;
+          seed;
+        }
+      in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> if cleanup_root then rm_rf state_root)
+          (fun () ->
+            let dir = Filename.concat state_root "topology" in
+            if Sys.file_exists dir then rm_rf dir;
+            try Topology.run ~obs ~dir tconfig
+            with Invalid_argument m -> exit_err "%s" m)
+      in
+      print_endline (Topology.summary report);
+      (match json_out with
+      | None -> ()
+      | Some "-" ->
+        print_endline (Json.to_string_pretty (Topology.report_to_json report))
+      | Some path ->
+        spit path (Json.to_string_pretty (Topology.report_to_json report));
+        Printf.printf "topology report written to %s\n" path);
+      emit_metrics ();
+      if not (Topology.ok report) then
+        exit_err "topology soak failed: invariant violation or offload floor"
+    end
+    else begin
+      let report =
+        Fun.protect
+          ~finally:(fun () -> if cleanup_root then rm_rf state_root)
+          (fun () ->
+            let dir = Filename.concat state_root "authority" in
+            if Sys.file_exists dir then rm_rf dir;
+            try Soak.run ~obs ~dir config
+            with Invalid_argument m -> exit_err "%s" m)
+      in
+      print_endline (Soak.summary report);
+      (match json_out with
+      | None -> ()
+      | Some "-" ->
+        print_endline (Json.to_string_pretty (Soak.report_to_json report))
+      | Some path ->
+        spit path (Json.to_string_pretty (Soak.report_to_json report));
+        Printf.printf "soak report written to %s\n" path);
+      emit_metrics ();
+      if not (Soak.ok report) then exit_err "soak invariants violated";
+      if report.Soak.steady_delta_ratio < min_delta_ratio then
+        exit_err "steady-state delta ratio %.1f below floor %.1f"
+          report.Soak.steady_delta_ratio min_delta_ratio
+    end
   in
   let flag_int name v doc =
     Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
@@ -1433,6 +1495,48 @@ let soak_cmd =
               "Exit non-zero unless steady-state delta syncs outnumber full \
                downloads by at least R.")
   in
+  let topology =
+    Arg.(value
+        & flag
+        & info [ "topology" ]
+            ~doc:
+              "Run the multi-node topology soak instead: sharded origins, a \
+               relay tier with partitions, crashes and a byzantine member, \
+               and mid-soak epoch flips migrating tenants.")
+  in
+  let origins = flag_int "origins" 2 "Origins in the initial shard map (topology)." in
+  let standby_origins =
+    flag_int "standby-origins" 1
+      "Standby origins joining the map at odd epoch flips (topology)."
+  in
+  let relays = flag_int "relays" 3 "Relay nodes between clients and origins (topology)." in
+  let byzantine_relays =
+    flag_int "byzantine-relays" 1 "Relays serving corrupted bytes (topology)."
+  in
+  let byzantine_corrupt =
+    flag_rate "byzantine-corrupt" 0.5
+      "Per-response corruption rate of a byzantine relay (topology)."
+  in
+  let relay_sync_period =
+    flag_int "relay-sync-period" 4 "Ticks between relay upstream syncs (topology)."
+  in
+  let partitions =
+    flag_int "partitions" 3 "Relay-from-origin partitions scheduled (topology)."
+  in
+  let partition_ticks =
+    flag_int "partition-ticks" 150 "Duration of each partition (topology)."
+  in
+  let relay_crashes =
+    flag_int "relay-crashes" 2 "Relay crashes (total state loss) scheduled (topology)."
+  in
+  let epoch_flips =
+    flag_int "epoch-flips" 1 "Mid-soak shard-map advances migrating tenants (topology)."
+  in
+  let min_offload =
+    flag_rate "min-offload" 0.8
+      "Exit non-zero unless relays absorb at least this share of client sync \
+       requests (topology)."
+  in
   let state_dir =
     Arg.(value
         & opt (some string) None
@@ -1465,7 +1569,10 @@ let soak_cmd =
           $ sync_period $ publishes $ compact_every $ k $ reporter_cap
           $ candidates $ byzantine $ drop $ corrupt $ server_error
           $ server_crash_rate $ client_restart_rate $ drain_rounds
-          $ min_delta_ratio $ state_dir $ json_out $ metrics_out)
+          $ min_delta_ratio $ topology $ origins $ standby_origins $ relays
+          $ byzantine_relays $ byzantine_corrupt $ relay_sync_period
+          $ partitions $ partition_ticks $ relay_crashes $ epoch_flips
+          $ min_offload $ state_dir $ json_out $ metrics_out)
 
 let main_cmd =
   let doc = "signature generation for sensitive information leakage (ICDE 2013 reproduction)" in

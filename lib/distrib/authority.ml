@@ -60,6 +60,16 @@ let fresh_tenant name =
 type jentry =
   | Change of { tenant : string; entry : Changelog.entry }
   | Report of { tenant : string; reporter : string; signature : Signature.t }
+  | Adopt of { tenant : string; payload : string }
+      (* A folded tenant section (see the snapshot codec) taken over from
+         another origin during a rebalance.  WAL frames are length-
+         prefixed, so the embedded newlines are safe. *)
+  | Release of { tenant : string; at : int }
+      (* Tenant handed off at version [at]; the version gates replay the
+         same way Change versions do. *)
+  | Shard of { self : string; line : string }
+      (* The shard map (Shard_map line codec) this origin serves under,
+         plus its own id — installing a map is a journaled transition. *)
 
 let jentry_to_payload = function
   | Change { tenant; entry } ->
@@ -67,6 +77,9 @@ let jentry_to_payload = function
   | Report { tenant; reporter; signature } ->
     Printf.sprintf "report\t%s\t%s\t%s" tenant reporter
       (Signature_io.to_line signature)
+  | Adopt { tenant; payload } -> Printf.sprintf "adopt\t%s\t%s" tenant payload
+  | Release { tenant; at } -> Printf.sprintf "release\t%s\t%d" tenant at
+  | Shard { self; line } -> Printf.sprintf "shard\t%s\t%s" self line
 
 let split1 s =
   match String.index_opt s '\t' with
@@ -93,6 +106,21 @@ let jentry_of_payload payload =
         | Error e -> Error ("report entry: " ^ Leak_error.to_string e))
       | _ -> Error "report entry: bad reporter")
     | _ -> Error "report entry: bad tenant")
+  | Some ("adopt", rest) -> (
+    match split1 rest with
+    | Some (tenant, payload) when id_ok tenant -> Ok (Adopt { tenant; payload })
+    | _ -> Error "adopt entry: bad tenant")
+  | Some ("release", rest) -> (
+    match split1 rest with
+    | Some (tenant, at) when id_ok tenant -> (
+      match int_of_string_opt at with
+      | Some at when at >= 0 -> Ok (Release { tenant; at })
+      | _ -> Error "release entry: bad version")
+    | _ -> Error "release entry: bad tenant")
+  | Some ("shard", rest) -> (
+    match split1 rest with
+    | Some (self, line) when id_ok self -> Ok (Shard { self; line })
+    | _ -> Error "shard entry: bad self id")
   | Some (tag, _) -> Error (Printf.sprintf "unknown journal tag %S" tag)
   | None -> Error "empty journal entry"
 
@@ -114,6 +142,7 @@ type t = {
   dir : string option;
   mutable writer : Wal.writer option;
   mutable rev_promotions : promotion list;
+  mutable shard : (string * Shard_map.t) option;  (* self id, map *)
 }
 
 let config t = t.config
@@ -281,43 +310,47 @@ let apply_report ts ~reporter signature =
 
 (* --- snapshot codec --- *)
 
-let snapshot_payload t =
-  let buf = Buffer.create 4096 in
-  let names = tenant_names t in
-  Buffer.add_string buf (Printf.sprintf "authority\t%d" (List.length names));
-  List.iter
-    (fun name ->
-      let ts = Hashtbl.find t.tenants name in
-      let base = Changelog.base ts.log in
-      let entries = Changelog.entries ts.log in
-      let cands =
+let cand_lines_of ts =
+  let cands =
+    List.sort compare
+      (Hashtbl.fold (fun k c acc -> (k, c) :: acc) ts.candidates [])
+  in
+  List.map
+    (fun (_, (c : candidate)) ->
+      let reporters =
         List.sort compare
-          (Hashtbl.fold (fun k c acc -> (k, c) :: acc) ts.candidates [])
+          (Hashtbl.fold (fun r () acc -> r :: acc) c.reporters [])
       in
-      Buffer.add_string buf
-        (Printf.sprintf "\ntenant\t%s\t%d\t%d\t%d\t%d\t%d" name
-           (Changelog.horizon ts.log)
-           (Changelog.next_id ts.log)
-           (List.length base) (List.length entries) (List.length cands));
-      List.iter
-        (fun s -> Buffer.add_string buf ("\n" ^ Signature_io.to_line s))
-        base;
-      List.iter
-        (fun e -> Buffer.add_string buf ("\n" ^ Changelog.entry_to_line e))
-        entries;
-      List.iter
-        (fun (_, (c : candidate)) ->
-          let reporters =
-            List.sort compare
-              (Hashtbl.fold (fun r () acc -> r :: acc) c.reporters [])
-          in
-          Buffer.add_string buf
-            (Printf.sprintf "\ncand\t%s\t%s"
-               (String.concat "," reporters)
-               (Signature_io.to_line c.exemplar)))
-        cands)
-    names;
-  Buffer.contents buf
+      Printf.sprintf "cand\t%s\t%s"
+        (String.concat "," reporters)
+        (Signature_io.to_line c.exemplar))
+    cands
+
+(* One tenant as lines: the section form shared by the snapshot and the
+   adopt transfer.  [folded] collapses the changelog to its head — base =
+   current set at base_version = head, no entries — which is how a tenant
+   travels between origins: the new owner continues at head + 1 and serves
+   lagging clients snapshots. *)
+let tenant_section ?(folded = false) ts =
+  let base_version, base, entries =
+    if folded then (Changelog.version ts.log, Changelog.current ts.log, [])
+    else (Changelog.horizon ts.log, Changelog.base ts.log, Changelog.entries ts.log)
+  in
+  let cands = cand_lines_of ts in
+  (Printf.sprintf "tenant\t%s\t%d\t%d\t%d\t%d\t%d" ts.name base_version
+     (Changelog.next_id ts.log)
+     (List.length base) (List.length entries) (List.length cands))
+  :: List.map Signature_io.to_line base
+  @ List.map Changelog.entry_to_line entries
+  @ cands
+
+let snapshot_payload t =
+  let names = tenant_names t in
+  String.concat "\n"
+    ((Printf.sprintf "authority\t%d" (List.length names))
+    :: List.concat_map
+         (fun name -> tenant_section (Hashtbl.find t.tenants name))
+         names)
 
 let take n lines =
   let rec loop n acc = function
@@ -466,7 +499,19 @@ let create ?(obs = Obs.noop) ?(config = default_config) () =
     dir = None;
     writer = None;
     rev_promotions = [];
+    shard = None;
   }
+
+(* Parse a folded tenant section (adopt payload / export form) into a
+   tenant state.  The section must be exactly one tenant, fully consumed. *)
+let tenant_of_section payload =
+  match String.split_on_char '\n' payload with
+  | [] -> Error "adopt: empty payload"
+  | header :: rest -> (
+    match parse_tenant_section header rest with
+    | Error _ as e -> e
+    | Ok (ts, []) -> Ok ts
+    | Ok (_, _ :: _) -> Error "adopt: trailing data")
 
 (* Replay one journal entry onto recovered state.  Returns [`Applied] or
    [`Stale] (an entry whose version is not newer — the compaction crash
@@ -484,6 +529,35 @@ let replay_jentry t jentry =
     let ts = lookup t tenant in
     apply_report ts ~reporter signature;
     `Applied
+  | Adopt { tenant; payload } -> (
+    (* Version-gated like Change: a snapshot written after the adoption
+       already contains it (and possibly later changes) — re-installing
+       the adopted base would regress past them. *)
+    match tenant_of_section payload with
+    | Error _ -> `Stale
+    | Ok ts ->
+      if ts.name <> tenant then `Stale
+      else
+        let local = version t ~tenant in
+        if Changelog.version ts.log >= local then begin
+          Hashtbl.replace t.tenants tenant ts;
+          `Applied
+        end
+        else `Stale)
+  | Release { tenant; at } ->
+    (* Skip when local state has advanced past the handoff point: the
+       snapshot postdates a re-adoption of the same tenant. *)
+    if version t ~tenant > at then `Stale
+    else begin
+      Hashtbl.remove t.tenants tenant;
+      `Applied
+    end
+  | Shard { self; line } -> (
+    match Shard_map.of_line line with
+    | Ok map ->
+      t.shard <- Some (self, map);
+      `Applied
+    | Error _ -> `Stale)
 
 let promote_ready t =
   List.fold_left
@@ -698,8 +772,68 @@ let compact ?(inject = fun _ -> ()) t =
     inject "post_snapshot";
     (match t.writer with Some w -> Wal.close w | None -> ());
     t.writer <- Some (Wal.create (wal_path ~dir));
+    (* The snapshot codec carries tenants only; the shard assignment rides
+       the journal, so re-seed the fresh journal with it. *)
+    (match t.shard with
+    | Some (self, map) ->
+      journal t (Shard { self; line = Shard_map.to_line map })
+    | None -> ());
     count t "leakdetect_authority_compactions_total"
       "Snapshot compactions performed."
+
+(* --- sharding and rebalance --- *)
+
+let shard t = t.shard
+
+let owns t ~tenant =
+  match t.shard with
+  | None -> true
+  | Some (self, map) -> Shard_map.owner map ~tenant = self
+
+(* [self] need not be in the map: an origin holding a map that excludes
+   it owns nothing and 421s everything — a standby waiting to join, or a
+   node being drained out. *)
+let set_shard t ~self map =
+  check_id "origin" self;
+  journal t (Shard { self; line = Shard_map.to_line map });
+  t.shard <- Some (self, map)
+
+let export_tenant t ~tenant =
+  check_id "tenant" tenant;
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> Error (Printf.sprintf "export: unknown tenant %S" tenant)
+  | Some ts -> Ok (String.concat "\n" (tenant_section ~folded:true ts))
+
+let adopt_tenant t payload =
+  match tenant_of_section payload with
+  | Error _ as e -> e
+  | Ok ts ->
+    let local = version t ~tenant:ts.name in
+    if Changelog.version ts.log < local then
+      Error
+        (Printf.sprintf
+           "adopt: payload for %s at version %d behind local state at %d"
+           ts.name (Changelog.version ts.log) local)
+    else begin
+      journal t (Adopt { tenant = ts.name; payload });
+      Hashtbl.replace t.tenants ts.name ts;
+      count t "leakdetect_authority_adoptions_total"
+        "Tenants adopted from another origin during a rebalance.";
+      if not (Obs.is_noop t.obs) then set_version_gauge t ts;
+      Ok ts.name
+    end
+
+let release_tenant t ~tenant =
+  check_id "tenant" tenant;
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> Error (Printf.sprintf "release: unknown tenant %S" tenant)
+  | Some ts ->
+    let at = Changelog.version ts.log in
+    journal t (Release { tenant; at });
+    Hashtbl.remove t.tenants tenant;
+    count t "leakdetect_authority_releases_total"
+      "Tenants released to another origin during a rebalance.";
+    Ok at
 
 (* --- HTTP --- *)
 
@@ -727,6 +861,35 @@ let count_sync_response t mode =
     "leakdetect_authority_sync_responses_total"
     "GET /signatures responses, by transfer mode."
 
+(* When a shard map is installed, requests for tenants this origin does
+   not own are misdirected — answer 421 naming the owner and epoch so the
+   client can tell stale routing from a partitioned minority.  A tenant we
+   own but have not adopted yet (the rebalance is mid-flight) is a 503:
+   retryable, never a fresh empty tenant that would read as a version
+   regression. *)
+let shard_gate t ~tenant =
+  match t.shard with
+  | None -> Ok ()
+  | Some (self, map) ->
+    let owner = Shard_map.owner map ~tenant in
+    if owner <> self then
+      Error
+        (Http.Response.make
+           ~headers:
+             (Http.Headers.of_list
+                [ ("X-Shard-Epoch", string_of_int (Shard_map.epoch map));
+                  ("X-Shard-Owner", owner) ])
+           421)
+    else if not (Hashtbl.mem t.tenants tenant) then
+      Error
+        (Http.Response.make
+           ~headers:
+             (Http.Headers.of_list
+                [ ("X-Shard-Epoch", string_of_int (Shard_map.epoch map));
+                  ("Retry-After", "1") ])
+           503)
+    else Ok ()
+
 let handle_signatures t (request : Http.Request.t) params =
   if request.Http.Request.meth <> Http.Request.GET then
     Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "GET") ]) 405
@@ -743,6 +906,9 @@ let handle_signatures t (request : Http.Request.t) params =
       | None -> Http.Response.make 400
       | Some since when since < 0 -> Http.Response.make 400
       | Some since -> (
+        match shard_gate t ~tenant with
+        | Error misdirected -> misdirected
+        | Ok () ->
         let ts = lookup t tenant in
         let head = Changelog.version ts.log in
         if since >= head && not full then begin
@@ -792,6 +958,9 @@ let handle_candidates t (request : Http.Request.t) params =
   else
     match (List.assoc_opt "tenant" params, List.assoc_opt "reporter" params) with
     | Some tenant, Some reporter when id_ok tenant && id_ok reporter -> (
+      match shard_gate t ~tenant with
+      | Error misdirected -> misdirected
+      | Ok () ->
       let body = request.Http.Request.body in
       let lines = if body = "" then [] else String.split_on_char '\n' body in
       let rec parse acc = function

@@ -145,7 +145,55 @@ val compact : ?inject:(string -> unit) -> t -> unit
     snapshot the state atomically, and reset the journal.  [?inject] is
     called at ["pre_snapshot"] and ["post_snapshot"] — the second is the
     Store-style crash window (new snapshot, old log) that idempotent
-    replay must absorb. *)
+    replay must absorb.  A shard assignment is re-journaled into the
+    fresh log (the snapshot codec carries tenants only). *)
+
+(** {1 Sharding and rebalance}
+
+    An origin given a {!Shard_map} via {!set_shard} serves only the
+    tenants the map assigns to it: requests for other tenants draw
+    [421 Misdirected Request] with [X-Shard-Owner] / [X-Shard-Epoch]
+    headers, and requests for an owned tenant that has not been
+    {!adopt_tenant}ed yet draw a retryable [503] — never a fresh empty
+    tenant, which a synced client would (rightly) refuse as a version
+    regression.  Without a map (the default) every tenant is served,
+    preserving the single-origin behaviour.
+
+    A rebalance is: advance the map, {!set_shard} it on every origin,
+    then for each tenant in {!Shard_map.moved} pipe {!export_tenant} on
+    the old owner into {!adopt_tenant} on the new one and
+    {!release_tenant} the old copy.  The transfer payload folds the
+    changelog to its head — the new owner continues at [head + 1], so
+    committed versions stay monotonic across the migration — and carries
+    the candidate table, so promotion tallies are not split.  All three
+    steps are journaled and replay idempotently (adopt and release are
+    version-gated against the compaction crash window). *)
+
+val shard : t -> (string * Shard_map.t) option
+(** [(self, map)] once {!set_shard} has run (possibly via replay). *)
+
+val owns : t -> tenant:string -> bool
+(** True when no map is installed, or the map assigns [tenant] to us. *)
+
+val set_shard : t -> self:string -> Shard_map.t -> unit
+(** Install (journal, then apply) the map this origin serves under.
+    [self] may be absent from the map — such an origin owns nothing and
+    answers 421 for every tenant (a standby, or a node being drained).
+    @raise Invalid_argument on a bad [self] id. *)
+
+val export_tenant : t -> tenant:string -> (string, string) result
+(** The tenant's folded section (current set as base at the head version,
+    no entries, candidates attached) — the adopt transfer payload.
+    [Error] on an unknown tenant. *)
+
+val adopt_tenant : t -> string -> (string, string) result
+(** Install an {!export_tenant} payload (journal, then apply), returning
+    the tenant name.  [Error] on a malformed payload or one whose version
+    is behind a tenant state we already hold. *)
+
+val release_tenant : t -> tenant:string -> (int, string) result
+(** Drop a tenant after handoff (journal, then apply), returning the
+    version it was released at.  [Error] on an unknown tenant. *)
 
 (** {1 HTTP} *)
 
@@ -167,6 +215,7 @@ val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
       when [V] predates the horizon (or [full=1]);
     - [304] when up to date — [X-Signature-Version] and
       [X-Signature-Checksum] are carried on every one of these;
+    - [421] / [503] under a shard map, as described above;
     - [400] on a missing/bad tenant or [since], [404]/[405] as usual.
 
     [POST /candidates?tenant=T&reporter=R] with signature lines as body:

@@ -9,7 +9,11 @@ type counters = {
   snapshot_updates : int;
   forced_full : int;
   regressions_refused : int;
+  fork_smells : int;
+  escalations : int;
 }
+
+type update = [ `Delta of Changelog.entry list | `Snapshot ]
 
 type t = {
   tenant : string;
@@ -18,9 +22,19 @@ type t = {
   mutable snapshot_updates : int;
   mutable forced_full : int;
   mutable regressions_refused : int;
-  (* Which transfer mode produced the Set the inner client is about to
-     install; read back after sync to attribute the update. *)
-  mutable last_mode : [ `Delta | `Snapshot ] option;
+  mutable fork_smells : int;
+  mutable escalations : int;
+  (* Which transfer produced the Set the inner client is about to
+     install; read back after sync to attribute the update (and, by a
+     relay, to mirror the applied entry suffix). *)
+  mutable last_update : update option;
+  (* Set when an attempt failed *verification* (checksum fork, version
+     regression) as opposed to transport loss — the tiered sync
+     escalates to the origin on it. *)
+  mutable verify_failed : bool;
+  (* Sticky preferred relay index for sync_via; rotates away from a
+     relay whose answer failed verification. *)
+  mutable preferred : int;
 }
 
 let create ?config ?obs ?seed ~tenant () =
@@ -33,7 +47,11 @@ let create ?config ?obs ?seed ~tenant () =
     snapshot_updates = 0;
     forced_full = 0;
     regressions_refused = 0;
-    last_mode = None;
+    fork_smells = 0;
+    escalations = 0;
+    last_update = None;
+    verify_failed = false;
+    preferred = 0;
   }
 
 let tenant t = t.tenant
@@ -43,6 +61,7 @@ let checksum t = Changelog.checksum_set (signatures t)
 let health t = Signature_client.health t.inner
 let staleness t = Signature_client.staleness t.inner
 let last_error t = Signature_client.last_error t.inner
+let last_update t = t.last_update
 
 let counters t =
   {
@@ -50,6 +69,8 @@ let counters t =
     snapshot_updates = t.snapshot_updates;
     forced_full = t.forced_full;
     regressions_refused = t.regressions_refused;
+    fork_smells = t.fork_smells;
+    escalations = t.escalations;
   }
 
 (* --- response plumbing --- *)
@@ -114,18 +135,25 @@ let parse_entry_lines body =
   in
   loop [] lines
 
+let refuse_regression t ~server ~held =
+  t.regressions_refused <- t.regressions_refused + 1;
+  t.verify_failed <- true;
+  Error
+    (Printf.sprintf "version regression: server at %d, we hold %d" server held)
+
 (* The checksum header is mandatory on every 200 and binds the version:
    accepting an unverified body would let a transit-corrupted payload (or
    a corrupted version header over a valid payload) install silently. *)
-let verified t ~mode ~version ~advertised set =
+let verified t ~(mode : update) ~version ~advertised set =
   match advertised with
   | None -> Error "missing checksum header"
   | Some sum when Changelog.wire_checksum ~version set <> sum ->
+    t.verify_failed <- true;
     Error
       (Printf.sprintf "checksum mismatch at version %d (%s)" version
-         (match mode with `Delta -> "delta" | `Snapshot -> "snapshot"))
+         (match mode with `Delta _ -> "delta" | `Snapshot -> "snapshot"))
   | Some _ ->
-    t.last_mode <- Some mode;
+    t.last_update <- Some mode;
     Ok (Signature_client.Set { version; signatures = set })
 
 let apply_delta t ~since ~version ~advertised entries =
@@ -145,12 +173,16 @@ let apply_delta t ~since ~version ~advertised entries =
           Changelog.apply_change set e.Changelog.change)
         (signatures t) entries
     in
-    Ok (verified t ~mode:`Delta ~version ~advertised set)
+    Ok (verified t ~mode:(`Delta entries) ~version ~advertised set)
 
-let fetch t ~transport ~since =
+(* One fetch.  [transport] serves the delta request; [full_transport]
+   serves the full=1 recovery resync — in a relayed topology the latter
+   is the origin, so a forked or corrupting relay can never supply its
+   own "recovery" bytes. *)
+let fetch t ~transport ~full_transport ~since =
   let full_resync () =
     t.forced_full <- t.forced_full + 1;
-    match request t ~transport ~since ~full:true with
+    match request t ~transport:full_transport ~since ~full:true with
     | Error _ as e -> e
     | Ok response -> (
       match response.Http.Response.status with
@@ -158,16 +190,24 @@ let fetch t ~transport ~since =
         match int_header response "X-Signature-Version" with
         | None -> Error "missing version header"
         | Some version when version < since ->
-          t.regressions_refused <- t.regressions_refused + 1;
-          Error
-            (Printf.sprintf "version regression: server at %d, we hold %d"
-               version since)
+          refuse_regression t ~server:version ~held:since
         | Some version -> (
           match parse_sig_lines response.Http.Response.body with
           | Error _ as e -> e
-          | Ok set ->
-            verified t ~mode:`Snapshot ~version
-              ~advertised:(checksum_header response) set))
+          | Ok set -> (
+            match
+              verified t ~mode:`Snapshot ~version
+                ~advertised:(checksum_header response) set
+            with
+            | Ok (Signature_client.Set { version = v; signatures })
+              when v = since && Changelog.checksum_set signatures = checksum t
+              ->
+              (* The resync confirmed the set we already hold: the smell
+                 was the answering node's (or the wire's), not ours —
+                 nothing new was installed. *)
+              t.last_update <- None;
+              Ok (Signature_client.Up_to_date { observed = Some v })
+            | r -> r)))
       | status ->
         Error (Printf.sprintf "unexpected status %d on full sync" status))
   in
@@ -178,18 +218,29 @@ let fetch t ~transport ~since =
     match response.Http.Response.status with
     | 304 -> (
       match observed with
-      | Some v when v < since ->
-        t.regressions_refused <- t.regressions_refused + 1;
-        Error (Printf.sprintf "version regression: server at %d, we hold %d" v since)
+      | Some v when v < since -> refuse_regression t ~server:v ~held:since
+      | Some v when v = since ->
+        (* Split-brain defense: a 304 claims the server's set at our
+           version IS our set.  The version-bound checksum proves it; a
+           mismatch means the server is on a fork of the changelog at
+           our version, and accepting the 304 would silently pin us to
+           whichever side answered.  Refuse and resync in full from the
+           authoritative transport instead. *)
+        let ours =
+          Changelog.wire_checksum ~version:since (signatures t)
+        in
+        (match checksum_header response with
+        | Some sum when sum = ours -> Ok (Signature_client.Up_to_date { observed })
+        | Some _ | None ->
+          t.fork_smells <- t.fork_smells + 1;
+          t.verify_failed <- true;
+          full_resync ())
       | _ -> Ok (Signature_client.Up_to_date { observed }))
     | 200 -> (
       match observed with
       | None -> Error "missing version header"
       | Some version when version < since ->
-        t.regressions_refused <- t.regressions_refused + 1;
-        Error
-          (Printf.sprintf "version regression: server at %d, we hold %d"
-             version since)
+        refuse_regression t ~server:version ~held:since
       | Some version -> (
         let advertised = checksum_header response in
         match header response "X-Signature-Mode" with
@@ -210,16 +261,62 @@ let fetch t ~transport ~since =
         | Some other -> Error (Printf.sprintf "unknown transfer mode %S" other)))
     | status -> Error (Printf.sprintf "unexpected status %d" status))
 
-let sync t ~transport =
-  t.last_mode <- None;
-  let report =
-    Signature_client.sync t.inner ~fetch:(fun ~since ->
-        fetch t ~transport ~since)
-  in
-  (match (report.Signature_client.outcome, t.last_mode) with
-  | Signature_client.Updated _, Some `Delta ->
+let attribute t report =
+  (match (report.Signature_client.outcome, t.last_update) with
+  | Signature_client.Updated _, Some (`Delta _) ->
     t.delta_updates <- t.delta_updates + 1
   | Signature_client.Updated _, Some `Snapshot ->
     t.snapshot_updates <- t.snapshot_updates + 1
   | _ -> ());
   report
+
+let sync t ~transport =
+  t.last_update <- None;
+  t.verify_failed <- false;
+  attribute t
+    (Signature_client.sync t.inner ~fetch:(fun ~since ->
+         fetch t ~transport ~full_transport:transport ~since))
+
+let sync_via t ~relays ~origin =
+  if relays = [] then invalid_arg "Delta_client.sync_via: no relays";
+  let n = List.length relays in
+  t.last_update <- None;
+  t.verify_failed <- false;
+  let attempt = ref 0 in
+  let escalated = ref false in
+  let report =
+    Signature_client.sync t.inner ~fetch:(fun ~since ->
+        incr attempt;
+        (* Attempts walk the relay tier first (starting at the sticky
+           preferred relay), then fall through to the origin; a
+           verification failure — fork smell, checksum mismatch,
+           regression — escalates the rest of this sync immediately:
+           transport loss is worth retrying against a sibling relay,
+           a lying answer is not. *)
+        if !escalated || !attempt > n then begin
+          if not !escalated then begin
+            escalated := true;
+            t.escalations <- t.escalations + 1
+          end;
+          fetch t ~transport:origin ~full_transport:origin ~since
+        end
+        else begin
+          let ix = (t.preferred + !attempt - 1) mod n in
+          let result =
+            fetch t ~transport:(List.nth relays ix) ~full_transport:origin
+              ~since
+          in
+          if t.verify_failed then begin
+            (* Fail away from the relay that lied: future syncs start at
+               its sibling. *)
+            t.preferred <- (ix + 1) mod n;
+            if not !escalated then begin
+              escalated := true;
+              t.escalations <- t.escalations + 1
+            end;
+            t.verify_failed <- false
+          end;
+          result
+        end)
+  in
+  attribute t report

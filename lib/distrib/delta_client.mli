@@ -1,4 +1,5 @@
-(** Device-side incremental sync against the {!Authority}.
+(** Device-side incremental sync against the {!Authority} — or a tier of
+    {!Relay}s in front of it.
 
     Wraps {!Leakdetect_monitor.Signature_client} — the retry / backoff /
     health machine is reused unchanged — and supplies it a fetch function
@@ -11,9 +12,22 @@
       set the client lands on — on mismatch, or on a non-consecutive
       entry suffix (a gap), the client {e within the same attempt}
       re-requests a full snapshot with [full=1];
+    - a [304] at the client's own version must advertise the checksum of
+      the client's own set: a mismatch is a {e fork smell} — the server
+      is on a divergent history at our version — and triggers a full
+      resync from the authoritative transport rather than acceptance;
     - a response whose version is below the client's is refused (counted,
       never applied): committed versions are monotonic, so a regression
       signals a lying or rolled-back server.
+
+    {!sync} talks to a single transport.  {!sync_via} implements the
+    relayed escalation ladder: attempts go to the relay tier first
+    (rotating from a sticky preferred relay), overflow to the origin, and
+    any {e verification} failure — fork smell, checksum mismatch,
+    regression — escalates the rest of the sync to the origin immediately
+    and fails the preferred relay over to a sibling.  Recovery ([full=1])
+    always goes to the authoritative transport, so a corrupting relay can
+    never supply its own "recovery" bytes.
 
     All waiting is in abstract backoff ticks, as in the wrapped client. *)
 
@@ -44,14 +58,28 @@ val health : t -> Signature_client.health
 val staleness : t -> Signature_client.staleness
 val last_error : t -> string option
 
+type update = [ `Delta of Changelog.entry list | `Snapshot ]
+
+val last_update : t -> update option
+(** How the most recent {!sync} / {!sync_via} updated the set: [`Delta]
+    carries the exact verified entry suffix that was applied (a {!Relay}
+    mirrors it into its own changelog); [None] when the round did not
+    install anything. *)
+
 type counters = {
   delta_updates : int;  (** Updates assembled from a changelog suffix. *)
   snapshot_updates : int;  (** Updates downloaded as a full set. *)
   forced_full : int;
       (** Delta attempts that fell back to [full=1] mid-attempt (gap,
-          checksum mismatch, or sub-horizon [since]). *)
+          checksum mismatch, fork smell, or sub-horizon [since]). *)
   regressions_refused : int;
       (** Responses advertising a version below ours, dropped unapplied. *)
+  fork_smells : int;
+      (** [304]s whose advertised checksum did not match our set at the
+          same version — divergent-history evidence. *)
+  escalations : int;
+      (** {!sync_via} rounds that abandoned the relay tier for the origin
+          (verification failure, or relay attempts exhausted). *)
 }
 
 val counters : t -> counters
@@ -63,4 +91,14 @@ val sync :
 (** One sync round through [transport] (printed request bytes in,
     printed response bytes out — wrap {!Authority.wire_transport} in a
     fault plan to exercise it).  Retry, backoff and health transitions
-    are the wrapped client's. *)
+    are the wrapped client's.  Recovery resyncs use the same transport. *)
+
+val sync_via :
+  t ->
+  relays:(string -> (string, string) result) list ->
+  origin:(string -> (string, string) result) ->
+  Signature_client.sync_report
+(** One sync round through the relay tier with origin escalation (see the
+    module doc).  The preferred relay is sticky across rounds and fails
+    over on verification failure.
+    @raise Invalid_argument when [relays] is empty. *)

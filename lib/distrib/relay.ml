@@ -1,0 +1,319 @@
+module Http = Leakdetect_http
+module Crc32 = Leakdetect_util.Crc32
+module Signature_io = Leakdetect_core.Signature_io
+module Signature_client = Leakdetect_monitor.Signature_client
+module Obs = Leakdetect_obs.Obs
+
+type config = { compact_keep : int }
+
+let default_config = { compact_keep = 64 }
+
+type tenant_state = {
+  dc : Delta_client.t;
+  mutable mirror : Changelog.t;
+  mutable synced : bool;
+}
+
+type t = {
+  id : string;
+  config : config;
+  obs : Obs.t;
+  tenant_tbl : (string, tenant_state) Hashtbl.t;
+  mutable upstream : (string -> (string, string) result) option;
+  mutable sync_rounds : int;
+  mutable sync_failures : int;
+  mutable resnapshots : int;
+  mutable served_delta : int;
+  mutable served_snapshot : int;
+  mutable served_not_modified : int;
+  mutable served_unready : int;
+  mutable forwarded : int;
+  mutable forward_failures : int;
+}
+
+let create ?(obs = Obs.noop) ?(config = default_config) ?client_config
+    ?(seed = 0) ~id ~tenants () =
+  if not (Authority.id_ok id) then
+    invalid_arg (Printf.sprintf "Relay: bad id %S" id);
+  let t =
+    {
+      id;
+      config;
+      obs;
+      tenant_tbl = Hashtbl.create (max 4 (List.length tenants));
+      upstream = None;
+      sync_rounds = 0;
+      sync_failures = 0;
+      resnapshots = 0;
+      served_delta = 0;
+      served_snapshot = 0;
+      served_not_modified = 0;
+      served_unready = 0;
+      forwarded = 0;
+      forward_failures = 0;
+    }
+  in
+  List.iteri
+    (fun i tenant ->
+      (* Delta_client validates the tenant id; per-tenant seeds keep the
+         relays' backoff jitter decorrelated from each other. *)
+      let dc =
+        Delta_client.create ?config:client_config
+          ~seed:(seed + (i * 7919) + Crc32.string id)
+          ~tenant ()
+      in
+      Hashtbl.replace t.tenant_tbl tenant
+        { dc; mirror = Changelog.create (); synced = false })
+    tenants;
+  t
+
+let id t = t.id
+
+let tenants t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_tbl [])
+
+let state t ~tenant =
+  match Hashtbl.find_opt t.tenant_tbl tenant with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Relay %s: unknown tenant %S" t.id tenant)
+
+let version t ~tenant =
+  match Hashtbl.find_opt t.tenant_tbl tenant with
+  | Some st -> Delta_client.version st.dc
+  | None -> 0
+
+let synced t ~tenant =
+  match Hashtbl.find_opt t.tenant_tbl tenant with
+  | Some st -> st.synced
+  | None -> false
+
+let staleness t ~tenant =
+  match Hashtbl.find_opt t.tenant_tbl tenant with
+  | Some st -> (Delta_client.staleness st.dc).Signature_client.failed_syncs
+  | None -> 0
+
+let set_upstream t transport = t.upstream <- Some transport
+
+(* --- upstream sync --- *)
+
+let resnapshot t st =
+  (* Rebuild the mirror as a fold of the verified set: base at the
+     verified head, no history.  Lagging clients get snapshots until the
+     mirror regrows entries. *)
+  (match
+     Changelog.restore
+       ~base_version:(Delta_client.version st.dc)
+       ~base:(Delta_client.signatures st.dc)
+       ~next_id:0 ~entries:[]
+   with
+  | Ok log -> st.mirror <- log
+  | Error e -> invalid_arg ("Relay: resnapshot failed: " ^ e));
+  t.resnapshots <- t.resnapshots + 1
+
+let mirror_absorb t st =
+  (match Delta_client.last_update st.dc with
+  | Some (`Delta entries) -> (
+    (* The suffix was verified consecutive from the client's previous
+       version; if the mirror was at that version too, append in step.
+       Any mismatch is divergence — rebuild rather than guess. *)
+    try
+      List.iter
+        (fun (e : Changelog.entry) ->
+          if e.Changelog.version = Changelog.version st.mirror + 1 then
+            ignore (Changelog.append st.mirror e.Changelog.change)
+          else raise Exit)
+        entries
+    with Exit -> resnapshot t st)
+  | Some `Snapshot | None -> resnapshot t st);
+  (* Defense in depth: the mirror must land exactly on the verified
+     state before we serve from it. *)
+  if
+    Changelog.version st.mirror <> Delta_client.version st.dc
+    || Changelog.current_checksum st.mirror <> Delta_client.checksum st.dc
+  then resnapshot t st;
+  Changelog.compact st.mirror ~keep:t.config.compact_keep
+
+let staleness_gauge t tenant st =
+  if not (Obs.is_noop t.obs) then
+    Obs.Gauge.set
+      (Obs.gauge t.obs
+         ~help:"Consecutive failed upstream syncs, per relay and tenant."
+         ~labels:[ ("relay", t.id); ("tenant", tenant) ]
+         "leakdetect_relay_staleness")
+      (Delta_client.staleness st.dc).Signature_client.failed_syncs
+
+let sync_tenant t ~tenant ~transport =
+  let st = state t ~tenant in
+  t.sync_rounds <- t.sync_rounds + 1;
+  let report = Delta_client.sync st.dc ~transport in
+  (match report.Signature_client.outcome with
+  | Signature_client.Updated _ ->
+    st.synced <- true;
+    mirror_absorb t st
+  | Signature_client.Unchanged ->
+    (* A verified 304: current state re-confirmed at our version. *)
+    st.synced <- true
+  | Signature_client.Failed _ -> t.sync_failures <- t.sync_failures + 1);
+  staleness_gauge t tenant st;
+  report
+
+(* --- serving --- *)
+
+type counters = {
+  sync_rounds : int;
+  sync_failures : int;
+  resnapshots : int;
+  served_delta : int;
+  served_snapshot : int;
+  served_not_modified : int;
+  served_unready : int;
+  forwarded : int;
+  forward_failures : int;
+}
+
+let counters (t : t) : counters =
+  {
+    sync_rounds = t.sync_rounds;
+    sync_failures = t.sync_failures;
+    resnapshots = t.resnapshots;
+    served_delta = t.served_delta;
+    served_snapshot = t.served_snapshot;
+    served_not_modified = t.served_not_modified;
+    served_unready = t.served_unready;
+    forwarded = t.forwarded;
+    forward_failures = t.forward_failures;
+  }
+
+let served (t : t) =
+  t.served_delta + t.served_snapshot + t.served_not_modified
+
+let relay_headers t st =
+  [ ("X-Relay-Id", t.id);
+    ( "X-Relay-Staleness",
+      string_of_int
+        (Delta_client.staleness st.dc).Signature_client.failed_syncs ) ]
+
+let version_headers st =
+  let version = Changelog.version st.mirror in
+  [ ("X-Signature-Version", string_of_int version);
+    ( "X-Signature-Checksum",
+      Crc32.to_hex
+        (Changelog.wire_checksum ~version (Changelog.current st.mirror)) ) ]
+
+let handle_signatures t (request : Http.Request.t) params =
+  if request.Http.Request.meth <> Http.Request.GET then
+    Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "GET") ]) 405
+  else
+    match List.assoc_opt "tenant" params with
+    | Some tenant when Authority.id_ok tenant -> (
+      match Hashtbl.find_opt t.tenant_tbl tenant with
+      | None -> Http.Response.make 404
+      | Some st -> (
+        let since =
+          match List.assoc_opt "since" params with
+          | Some v -> int_of_string_opt v
+          | None -> Some 0
+        in
+        let full = List.assoc_opt "full" params = Some "1" in
+        match since with
+        | None -> Http.Response.make 400
+        | Some since when since < 0 -> Http.Response.make 400
+        | Some since ->
+          if not st.synced then begin
+            (* Nothing verified yet: refuse rather than serve an empty
+               set a synced client would refuse as a regression. *)
+            t.served_unready <- t.served_unready + 1;
+            Http.Response.make
+              ~headers:
+                (Http.Headers.of_list
+                   (("Retry-After", "1") :: relay_headers t st))
+              503
+          end
+          else
+            let head = Changelog.version st.mirror in
+            let headers extra =
+              Http.Headers.of_list
+                (version_headers st @ relay_headers t st @ extra)
+            in
+            if since >= head && not full then begin
+              t.served_not_modified <- t.served_not_modified + 1;
+              Http.Response.make ~headers:(headers []) 304
+            end
+            else
+              let snapshot () =
+                t.served_snapshot <- t.served_snapshot + 1;
+                let body =
+                  String.concat "\n"
+                    (List.map Signature_io.to_line
+                       (Changelog.current st.mirror))
+                in
+                Http.Response.make
+                  ~headers:
+                    (headers
+                       [ ("X-Signature-Mode", "snapshot");
+                         ("Content-Type", "text/tab-separated-values") ])
+                  ~body 200
+              in
+              if full then snapshot ()
+              else
+                match Changelog.since st.mirror since with
+                | None -> snapshot ()
+                | Some entries ->
+                  t.served_delta <- t.served_delta + 1;
+                  let body =
+                    String.concat "\n"
+                      (List.map Changelog.entry_to_line entries)
+                  in
+                  Http.Response.make
+                    ~headers:
+                      (headers
+                         [ ("X-Signature-Mode", "delta");
+                           ("X-Signature-Since", string_of_int since);
+                           ("Content-Type", "text/tab-separated-values") ])
+                    ~body 200))
+    | _ -> Http.Response.make 400
+
+let handle_candidates t (request : Http.Request.t) =
+  if request.Http.Request.meth <> Http.Request.POST then
+    Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "POST") ]) 405
+  else
+    match t.upstream with
+    | None ->
+      t.forward_failures <- t.forward_failures + 1;
+      Http.Response.make
+        ~headers:(Http.Headers.of_list [ ("Retry-After", "1") ])
+        503
+    | Some upstream -> (
+      match upstream (Http.Wire.print request) with
+      | Error _ ->
+        t.forward_failures <- t.forward_failures + 1;
+        Http.Response.make
+          ~headers:(Http.Headers.of_list [ ("Retry-After", "1") ])
+          503
+      | Ok raw -> (
+        match Http.Response.parse raw with
+        | Error _ ->
+          t.forward_failures <- t.forward_failures + 1;
+          Http.Response.make
+            ~headers:(Http.Headers.of_list [ ("Retry-After", "1") ])
+            503
+        | Ok response ->
+          t.forwarded <- t.forwarded + 1;
+          response))
+
+let handle t (request : Http.Request.t) =
+  let path, query =
+    Leakdetect_net.Url.split_path_query request.Http.Request.target
+  in
+  let params =
+    Option.value ~default:[] (Leakdetect_net.Url.decode_query query)
+  in
+  if path = Authority.signatures_endpoint then
+    handle_signatures t request params
+  else if path = Authority.candidates_endpoint then handle_candidates t request
+  else Http.Response.make 404
+
+let wire_transport t raw =
+  match Http.Wire.parse raw with
+  | Error e -> Error ("request corrupt: " ^ Http.Wire.error_to_string e)
+  | Ok request -> Ok (Http.Response.print (handle t request))

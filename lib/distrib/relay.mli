@@ -1,0 +1,104 @@
+(** A read-path relay: the fan-out tier between origins and clients.
+
+    A relay keeps, per tenant, a {!Delta_client} (the same verified sync
+    machinery devices use — checksum binding, gap detection, regression
+    refusal, retry/backoff) plus a {!Changelog} mirror rebuilt from the
+    verified entry suffixes the client applied.  It re-serves
+    [GET /signatures] from that mirror with the origin's exact semantics
+    (delta / snapshot / 304, version and wire-checksum headers), so a
+    device cannot tell a relay from an origin — except by the extra
+    [X-Relay-Id] / [X-Relay-Staleness] headers.
+
+    Fail-static: when the upstream origin is unreachable the relay keeps
+    serving the last {e verified} state, with [X-Relay-Staleness] (the
+    count of consecutive failed upstream syncs) rising and a staleness
+    gauge exported per tenant.  Until a tenant's first successful sync
+    the relay answers [503] — it never serves unverified or empty state
+    that a synced client would read as a regression.
+
+    Rejoin-after-partition: when the origin compacted past the relay's
+    version during a partition (or any mirror/client divergence is
+    detected), the mirror is rebuilt from the verified set —
+    {!counters}[.resnapshots] — and lagging clients get snapshots from
+    the relay until the mirror regrows history.
+
+    [POST /candidates] is not served locally: it is forwarded verbatim to
+    the upstream transport ({!set_upstream}), [503] when none is set or
+    the forward fails. *)
+
+type config = {
+  compact_keep : int;
+      (** Mirror entries kept delta-servable (compacted after each
+          successful sync). *)
+}
+
+val default_config : config
+(** [compact_keep = 64], matching {!Authority.default_config}. *)
+
+type t
+
+val create :
+  ?obs:Leakdetect_obs.Obs.t ->
+  ?config:config ->
+  ?client_config:Leakdetect_monitor.Signature_client.config ->
+  ?seed:int ->
+  id:string ->
+  tenants:string list ->
+  unit ->
+  t
+(** A relay named [id] serving [tenants].  [seed] derives per-tenant sync
+    jitter.  @raise Invalid_argument on a bad id or tenant id. *)
+
+val id : t -> string
+val tenants : t -> string list
+(** Sorted. *)
+
+val version : t -> tenant:string -> int
+(** Verified version held for the tenant (0 when unknown or unsynced). *)
+
+val synced : t -> tenant:string -> bool
+(** Whether the tenant has ever synced successfully (serving gate). *)
+
+val staleness : t -> tenant:string -> int
+(** Consecutive failed upstream syncs for the tenant; 0 when fresh. *)
+
+val set_upstream : t -> (string -> (string, string) result) -> unit
+(** Transport used to forward [POST /candidates]. *)
+
+val sync_tenant :
+  t ->
+  tenant:string ->
+  transport:(string -> (string, string) result) ->
+  Leakdetect_monitor.Signature_client.sync_report
+(** One verified sync round for the tenant against [transport] (the
+    owning origin, under whatever fault plan the harness wraps).  On
+    success the mirror absorbs the applied delta suffix — or is rebuilt
+    from the verified set after a snapshot or detected divergence — and
+    is compacted to [compact_keep].
+    @raise Invalid_argument on an unconfigured tenant. *)
+
+type counters = {
+  sync_rounds : int;
+  sync_failures : int;  (** Rounds that exhausted the upstream budget. *)
+  resnapshots : int;  (** Mirror rebuilds (snapshot sync or divergence). *)
+  served_delta : int;
+  served_snapshot : int;
+  served_not_modified : int;
+  served_unready : int;  (** 503s before the first verified sync. *)
+  forwarded : int;  (** Candidate POSTs relayed upstream. *)
+  forward_failures : int;
+}
+
+val counters : t -> counters
+
+val served : t -> int
+(** Total GET /signatures answered from verified state (delta + snapshot
+    + 304) — the numerator of the origin-offload ratio. *)
+
+val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
+(** Origin-shaped [GET /signatures] from the mirror (plus [X-Relay-Id]
+    and [X-Relay-Staleness] on every tenant response); [POST /candidates]
+    forwarded upstream; [404] elsewhere. *)
+
+val wire_transport : t -> string -> (string, string) result
+(** Parse printed request bytes, {!handle}, print the response. *)

@@ -1,0 +1,76 @@
+module Crc32 = Leakdetect_util.Crc32
+
+type t = { epoch : int; origins : string list (* sorted, distinct *) }
+
+let id_ok s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '.' || c = '_' || c = ':' || c = '-')
+       s
+
+let validate ~epoch ~origins =
+  if epoch < 0 then Error "Shard_map: negative epoch"
+  else if origins = [] then Error "Shard_map: no origins"
+  else if List.exists (fun o -> not (id_ok o)) origins then
+    Error "Shard_map: invalid origin id"
+  else
+    let sorted = List.sort_uniq compare origins in
+    if List.length sorted <> List.length origins then
+      Error "Shard_map: duplicate origin id"
+    else Ok { epoch; origins = sorted }
+
+let create ~epoch ~origins = validate ~epoch ~origins
+
+let epoch t = t.epoch
+let origins t = t.origins
+
+(* The HRW score of an (origin, tenant) pair.  Two independent CRCs over
+   differently-framed inputs give 64 well-mixed bits; the origin name
+   breaks the (astronomically unlikely) remaining ties so every node
+   still agrees.  Deliberately epoch-independent: advancing the epoch
+   with the same origin set moves nothing. *)
+let score ~origin ~tenant =
+  let a = Crc32.string (origin ^ "\x00" ^ tenant) in
+  let b = Crc32.string (tenant ^ "\x01" ^ origin) in
+  (a lsl 30) lxor b (* stays within a 63-bit int, so always non-negative *)
+
+let owner t ~tenant =
+  match t.origins with
+  | [] -> assert false (* create rejects empty origin lists *)
+  | first :: rest ->
+    let best = ref first and best_score = ref (score ~origin:first ~tenant) in
+    List.iter
+      (fun origin ->
+        let s = score ~origin ~tenant in
+        if s > !best_score || (s = !best_score && origin > !best) then begin
+          best := origin;
+          best_score := s
+        end)
+      rest;
+    !best
+
+let advance t ~origins = validate ~epoch:(t.epoch + 1) ~origins
+
+let moved ~before ~after ~tenants =
+  List.filter_map
+    (fun tenant ->
+      let from_ = owner before ~tenant and to_ = owner after ~tenant in
+      if from_ = to_ then None else Some (tenant, from_, to_))
+    tenants
+
+let to_line t = Printf.sprintf "%d\t%s" t.epoch (String.concat "," t.origins)
+
+let of_line line =
+  match String.index_opt line '\t' with
+  | None -> Error (Printf.sprintf "Shard_map: bad line %S" line)
+  | Some i -> (
+    let epoch = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match int_of_string_opt epoch with
+    | None -> Error (Printf.sprintf "Shard_map: bad epoch %S" epoch)
+    | Some epoch -> create ~epoch ~origins:(String.split_on_char ',' rest))

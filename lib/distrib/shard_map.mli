@@ -1,0 +1,54 @@
+(** Versioned tenant-to-origin assignment for the horizontal distribution
+    tier.
+
+    A shard map is an {e epoch} (a monotonically increasing version of the
+    fleet topology) plus the set of origin authority ids serving it.
+    Tenants are assigned by rendezvous (highest-random-weight) hashing:
+    every (origin, tenant) pair gets a deterministic score and the tenant
+    belongs to the origin with the highest score.  HRW gives the two
+    properties the rebalance protocol leans on:
+
+    - {b stability}: at a fixed origin set, ownership is a pure function
+      of the names — every node that holds the same map agrees on every
+      owner without coordination;
+    - {b minimal disruption}: adding or removing an origin only moves the
+      tenants whose top-scoring origin changed — everything else stays
+      put, so a rebalance migrates the few tenants in {!moved} and
+      touches nothing else.
+
+    The epoch makes rebalancing a first-class, journaled state transition
+    rather than a config edit: {!advance} produces the successor map,
+    origins journal it (see {!Authority.set_shard}), and a request landing
+    on a non-owner is answered with [421 Misdirected] carrying the epoch,
+    so a stale client can tell a partitioned minority from its own stale
+    routing.  The line codec is the journal/wire form. *)
+
+type t
+
+val id_ok : string -> bool
+(** Valid origin id: [A-Za-z0-9._:-], 1–64 chars (the {!Authority} id
+    alphabet; comma-free so ids embed in the line codec). *)
+
+val create : epoch:int -> origins:string list -> (t, string) result
+(** [Error] when the epoch is negative, the list is empty, an id is
+    invalid, or ids repeat.  Origins are kept sorted. *)
+
+val epoch : t -> int
+val origins : t -> string list
+(** Sorted, distinct. *)
+
+val owner : t -> tenant:string -> string
+(** The HRW winner for this tenant at this epoch.  Deterministic: equal
+    maps agree everywhere. *)
+
+val advance : t -> origins:string list -> (t, string) result
+(** The successor topology at [epoch + 1].  Same validation as
+    {!create}. *)
+
+val moved : before:t -> after:t -> tenants:string list -> (string * string * string) list
+(** [(tenant, from, to)] for every tenant whose owner differs between the
+    two maps — the migration work list for a rebalance. *)
+
+val to_line : t -> string
+val of_line : string -> (t, string) result
+(** Journal/wire codec: [epoch TAB origin,origin,...]. *)

@@ -683,6 +683,14 @@ let report_to_json r =
             ("drop_rate", Json.Float r.config.fault.Fault.drop_rate);
             ("corrupt_rate", Json.Float r.config.fault.Fault.corrupt_rate);
             ("server_error_rate", Json.Float r.config.fault.Fault.server_error_rate);
+            ("truncate_rate", Json.Float r.config.fault.Fault.truncate_rate);
+            ("duplicate_rate", Json.Float r.config.fault.Fault.duplicate_rate);
+            ("delay_rate", Json.Float r.config.fault.Fault.delay_rate);
+            ("max_delay", Json.Int r.config.fault.Fault.max_delay);
+            ("crash_rate", Json.Float r.config.fault.Fault.crash_rate);
+            ("torn_write_rate", Json.Float r.config.fault.Fault.torn_write_rate);
+            ("reencode_rate", Json.Float r.config.fault.Fault.reencode_rate);
+            ("drain_rounds", Json.Int r.config.drain_rounds);
             ("seed", Json.Int r.config.seed);
           ] );
       ("ramp", phase_to_json r.ramp);

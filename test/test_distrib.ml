@@ -13,7 +13,10 @@ module Signature_client = Leakdetect_monitor.Signature_client
 module Changelog = Leakdetect_distrib.Changelog
 module Authority = Leakdetect_distrib.Authority
 module Delta_client = Leakdetect_distrib.Delta_client
+module Shard_map = Leakdetect_distrib.Shard_map
+module Relay = Leakdetect_distrib.Relay
 module Soak = Leakdetect_distrib.Soak
+module Topology = Leakdetect_distrib.Topology
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -638,6 +641,517 @@ let test_mini_soak () =
       Alcotest.(check bool) "deltas dominate snapshots" true
         (report.Soak.steady_delta_ratio >= 1.0))
 
+(* --- changelog: the compaction boundary, keep = 0 included --- *)
+
+let test_changelog_compact_keep_zero () =
+  let log = Changelog.create () in
+  ignore (Changelog.append log (Changelog.Add s1));
+  ignore (Changelog.append log (Changelog.Add s2));
+  Changelog.compact log ~keep:0;
+  Alcotest.(check int) "horizon at head" 2 (Changelog.horizon log);
+  (match Changelog.since log 2 with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "at-horizon delta must be empty"
+  | None -> Alcotest.fail "a client exactly at the horizon gets the empty delta, not a snapshot");
+  (match Changelog.since log 1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "one version behind keep:0 must fall back to snapshot");
+  check_set "set survives keep:0" [ s1; s2 ] (Changelog.current log);
+  Alcotest.(check (option int)) "checksum still answers at the horizon"
+    (Some (Changelog.checksum_set [ s1; s2 ]))
+    (Changelog.checksum_at log 2)
+
+let prop_compact_since_boundary =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, keep) -> Printf.sprintf "%d entries, keep %d" n keep)
+      QCheck.Gen.(pair (int_range 1 30) (int_range 0 12))
+  in
+  QCheck.Test.make
+    ~name:"since is servable exactly on [horizon, head] after compaction"
+    ~count:200 gen
+    (fun (n, keep) ->
+      let log = Changelog.create () in
+      for i = 1 to n do
+        ignore
+          (Changelog.append log (Changelog.Add (sig_ i [ Printf.sprintf "t%d" i ])))
+      done;
+      Changelog.compact log ~keep;
+      let head = Changelog.version log and horizon = Changelog.horizon log in
+      let ok = ref (horizon = head - min keep n) in
+      for since = 0 to head + 1 do
+        match Changelog.since log since with
+        | None -> if since >= horizon && since <= head then ok := false
+        | Some entries ->
+          if since < horizon || since > head then ok := false
+          else if List.length entries <> head - since then ok := false
+      done;
+      !ok)
+
+(* --- shard map --- *)
+
+let mk_map ~epoch origins =
+  match Shard_map.create ~epoch ~origins with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "shard map: %s" e
+
+let test_shard_map_basics () =
+  (match Shard_map.create ~epoch:(-1) ~origins:[ "a" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative epoch must be rejected");
+  (match Shard_map.create ~epoch:0 ~origins:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty origin set must be rejected");
+  (match Shard_map.create ~epoch:0 ~origins:[ "a"; "a" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate origins must be rejected");
+  (match Shard_map.create ~epoch:0 ~origins:[ "bad id" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad origin id must be rejected");
+  let m = mk_map ~epoch:3 [ "b"; "a" ] in
+  Alcotest.(check int) "epoch" 3 (Shard_map.epoch m);
+  Alcotest.(check (list string)) "origins sorted" [ "a"; "b" ]
+    (Shard_map.origins m);
+  let tenants = List.init 50 (fun i -> Printf.sprintf "t%d" i) in
+  List.iter
+    (fun t ->
+      let o = Shard_map.owner m ~tenant:t in
+      Alcotest.(check bool) "owner from the set" true (List.mem o [ "a"; "b" ]);
+      Alcotest.(check string) "ownership is deterministic" o
+        (Shard_map.owner m ~tenant:t))
+    tenants;
+  (* Advancing the epoch over the same origin set moves nothing: the
+     rendezvous score ignores the epoch. *)
+  let m' =
+    match Shard_map.advance m ~origins:[ "a"; "b" ] with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "advance: %s" e
+  in
+  Alcotest.(check int) "epoch advanced" 4 (Shard_map.epoch m');
+  Alcotest.(check int) "same origins move nothing" 0
+    (List.length (Shard_map.moved ~before:m ~after:m' ~tenants))
+
+let test_shard_map_codec () =
+  let m = mk_map ~epoch:7 [ "origin1"; "origin0"; "standby" ] in
+  (match Shard_map.of_line (Shard_map.to_line m) with
+  | Ok m' ->
+    Alcotest.(check int) "epoch survives" 7 (Shard_map.epoch m');
+    Alcotest.(check (list string)) "origins survive" (Shard_map.origins m)
+      (Shard_map.origins m');
+    List.iter
+      (fun i ->
+        let t = Printf.sprintf "t%d" i in
+        Alcotest.(check string) "ownership survives"
+          (Shard_map.owner m ~tenant:t)
+          (Shard_map.owner m' ~tenant:t))
+      (List.init 20 Fun.id)
+  | Error e -> Alcotest.failf "roundtrip: %s" e);
+  List.iter
+    (fun line ->
+      match Shard_map.of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "must reject %S" line)
+    [ ""; "nope"; "-1\ta"; "3\t"; "3\ta,a"; "x\ta,b" ]
+
+let prop_shard_map_minimal_disruption =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, seed) -> Printf.sprintf "%d origins, seed %d" n seed)
+      QCheck.Gen.(pair (int_range 1 6) (int_range 0 999))
+  in
+  QCheck.Test.make
+    ~name:"adding an origin only moves tenants onto it (and removal back off)"
+    ~count:150 gen
+    (fun (n, seed) ->
+      let origins = List.init n (fun i -> Printf.sprintf "o%d-%d" seed i) in
+      let tenants = List.init 40 (fun i -> Printf.sprintf "t%d-%d" seed i) in
+      let before = mk_map ~epoch:0 origins in
+      let joined = Printf.sprintf "new-%d" seed in
+      match Shard_map.advance before ~origins:(joined :: origins) with
+      | Error _ -> false
+      | Ok after -> (
+        let inbound = Shard_map.moved ~before ~after ~tenants in
+        List.for_all (fun (_, _, dst) -> dst = joined) inbound
+        &&
+        match Shard_map.advance after ~origins with
+        | Error _ -> false
+        | Ok rolled_back ->
+          let outbound = Shard_map.moved ~before:after ~after:rolled_back ~tenants in
+          List.for_all (fun (_, src, _) -> src = joined) outbound
+          (* and everyone lands back exactly where they started *)
+          && List.for_all
+               (fun t ->
+                 Shard_map.owner rolled_back ~tenant:t
+                 = Shard_map.owner before ~tenant:t)
+               tenants))
+
+(* --- delta client: 304 fork smell (split-brain defense) --- *)
+
+let test_delta_client_304_fork_smell () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  (* A forked authority at the same version holding a different history. *)
+  let forked = Authority.create () in
+  ignore (Authority.publish forked ~tenant:"t0" [ s3 ]);
+  ignore (Authority.publish forked ~tenant:"t0" [ s3; s2 ]);
+  let c = new_client "t0" in
+  ignore (sync_updated "bootstrap from origin" c (loss_free auth));
+  Alcotest.(check int) "at the origin head" 2 (Delta_client.version c);
+  (* The forked relay answers our since=2 with a 304 whose checksum does
+     not match our set at version 2.  Accepting it would silently pin us
+     to the fork; the client must refuse and resync in full against the
+     origin — never against the relay that smelled forked. *)
+  let origin_fulls = ref 0 in
+  let origin_transport raw =
+    incr origin_fulls;
+    loss_free auth raw
+  in
+  (match
+     (Delta_client.sync_via c ~relays:[ loss_free forked ]
+        ~origin:origin_transport)
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated _ | Signature_client.Unchanged -> ()
+  | Signature_client.Failed e -> Alcotest.failf "fork recovery failed: %s" e);
+  let k = Delta_client.counters c in
+  Alcotest.(check bool) "fork smell counted" true (k.Delta_client.fork_smells > 0);
+  Alcotest.(check bool) "recovered via the origin" true (!origin_fulls > 0);
+  Alcotest.(check bool) "escalation counted" true (k.Delta_client.escalations > 0);
+  check_set "landed on the origin's set, not the fork" [ s1; s2 ]
+    (Delta_client.signatures c);
+  Alcotest.(check int) "checksum agrees with the origin"
+    (Authority.checksum auth ~tenant:"t0")
+    (Delta_client.checksum c)
+
+(* --- authority: shard gate and tenant migration --- *)
+
+(* Find one tenant the map assigns to each origin. *)
+let tenant_owned_by map name =
+  let rec go i =
+    if i > 10_000 then Alcotest.failf "no tenant hashes to %s" name
+    else
+      let t = Printf.sprintf "t%d" i in
+      if Shard_map.owner map ~tenant:t = name then t else go (i + 1)
+  in
+  go 0
+
+let test_authority_shard_gate () =
+  let auth = Authority.create () in
+  let map = mk_map ~epoch:2 [ "me"; "other" ] in
+  let mine = tenant_owned_by map "me"
+  and foreign = tenant_owned_by map "other" in
+  ignore (Authority.publish auth ~tenant:mine [ s1 ]);
+  ignore (Authority.publish auth ~tenant:foreign [ s3 ]);
+  Authority.set_shard auth ~self:"me" map;
+  Alcotest.(check bool) "owns its tenant" true (Authority.owns auth ~tenant:mine);
+  Alcotest.(check bool) "does not own the foreign one" false
+    (Authority.owns auth ~tenant:foreign);
+  (* Owned tenants are served as before. *)
+  let r = Authority.handle auth (get ("/signatures?tenant=" ^ mine ^ "&since=1")) in
+  Alcotest.(check int) "owned tenant still serves" 304 r.Http.Response.status;
+  (* Unowned tenants draw 421 naming the owner and epoch — even though we
+     still hold their state. *)
+  let r = Authority.handle auth (get ("/signatures?tenant=" ^ foreign ^ "&since=0")) in
+  Alcotest.(check int) "unowned tenant misdirected" 421 r.Http.Response.status;
+  Alcotest.(check (option string)) "owner advertised" (Some "other")
+    (header r "X-Shard-Owner");
+  Alcotest.(check (option string)) "epoch advertised" (Some "2")
+    (header r "X-Shard-Epoch");
+  let r =
+    Authority.handle auth (post ("/candidates?tenant=" ^ foreign ^ "&reporter=r") "x")
+  in
+  Alcotest.(check int) "candidates misdirected too" 421 r.Http.Response.status;
+  (* An owned tenant we have not adopted yet draws a retryable 503 —
+     never a fresh empty set a synced client would read as a rollback. *)
+  let unborn =
+    let rec go i =
+      let t = Printf.sprintf "u%d" i in
+      if Shard_map.owner map ~tenant:t = "me" then t else go (i + 1)
+    in
+    go 0
+  in
+  let r = Authority.handle auth (get ("/signatures?tenant=" ^ unborn ^ "&since=0")) in
+  Alcotest.(check int) "owned but not adopted is retryable" 503
+    r.Http.Response.status;
+  Alcotest.(check (option string)) "retry hinted" (Some "1")
+    (header r "Retry-After")
+
+let test_export_adopt_release () =
+  let a = Authority.create () and b = Authority.create () in
+  ignore (Authority.publish a ~tenant:"t0" [ s1 ]);
+  ignore (Authority.publish a ~tenant:"t0" [ s1; s2 ]);
+  (* A candidate one reporter short of promotion travels with the tenant. *)
+  let c = candidate [ "cand"; "imsi=240080000000002" ] in
+  (match Authority.report_candidate a ~tenant:"t0" ~reporter:"r1" c with
+  | Authority.Accepted 1 -> ()
+  | o -> Alcotest.failf "report: %s" (Authority.candidate_outcome_to_string o));
+  (match Authority.report_candidate a ~tenant:"t0" ~reporter:"r2" c with
+  | Authority.Accepted 2 -> ()
+  | o -> Alcotest.failf "report: %s" (Authority.candidate_outcome_to_string o));
+  let payload =
+    match Authority.export_tenant a ~tenant:"t0" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "export: %s" e
+  in
+  (match Authority.adopt_tenant b payload with
+  | Ok t -> Alcotest.(check string) "tenant name returned" "t0" t
+  | Error e -> Alcotest.failf "adopt: %s" e);
+  Alcotest.(check int) "version preserved across the handoff" 2
+    (Authority.version b ~tenant:"t0");
+  check_set "set preserved" [ s1; s2 ] (Authority.signatures b ~tenant:"t0");
+  Alcotest.(check int) "checksum preserved"
+    (Authority.checksum a ~tenant:"t0")
+    (Authority.checksum b ~tenant:"t0");
+  (* The new owner continues the committed version line, not a fresh one. *)
+  ignore (Authority.publish b ~tenant:"t0" [ s1; s2; s3 ]);
+  Alcotest.(check int) "monotonic across migration" 3
+    (Authority.version b ~tenant:"t0");
+  (* The travelled tally finishes promotion on the new owner. *)
+  (match Authority.report_candidate b ~tenant:"t0" ~reporter:"r3" c with
+  | Authority.Promoted _ -> ()
+  | o ->
+    Alcotest.failf "k-th reporter on the new owner: %s"
+      (Authority.candidate_outcome_to_string o));
+  (match Authority.release_tenant a ~tenant:"t0" with
+  | Ok v -> Alcotest.(check int) "released at its head" 2 v
+  | Error e -> Alcotest.failf "release: %s" e);
+  Alcotest.(check int) "released tenant gone" 0 (Authority.version a ~tenant:"t0");
+  (match Authority.release_tenant a ~tenant:"t0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double release must error");
+  (* Adopting a payload older than local state is refused. *)
+  match Authority.adopt_tenant b payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale adopt must be refused"
+
+let test_shard_state_replays () =
+  with_dir (fun dir ->
+      let map = mk_map ~epoch:5 [ "me"; "other" ] in
+      let src = Authority.create () in
+      ignore (Authority.publish src ~tenant:"mig" [ s1 ]);
+      ignore (Authority.publish src ~tenant:"mig" [ s1; s2 ]);
+      let payload =
+        match Authority.export_tenant src ~tenant:"mig" with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "export: %s" e
+      in
+      let auth, _ = reopen ~dir in
+      Authority.set_shard auth ~self:"me" map;
+      (match Authority.adopt_tenant auth payload with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "adopt: %s" e);
+      Authority.close auth;
+      (* Both the shard assignment and the adopted tenant ride the WAL. *)
+      let auth, _ = reopen ~dir in
+      (match Authority.shard auth with
+      | Some (self, m) ->
+        Alcotest.(check string) "self replayed" "me" self;
+        Alcotest.(check int) "epoch replayed" 5 (Shard_map.epoch m)
+      | None -> Alcotest.fail "shard map must survive reopen");
+      Alcotest.(check int) "adopted version replayed" 2
+        (Authority.version auth ~tenant:"mig");
+      check_set "adopted set replayed" [ s1; s2 ]
+        (Authority.signatures auth ~tenant:"mig");
+      (* Compaction folds the snapshot but re-journals the assignment. *)
+      Authority.compact auth;
+      Authority.close auth;
+      let auth, _ = reopen ~dir in
+      (match Authority.shard auth with
+      | Some (self, m) ->
+        Alcotest.(check string) "self survives compaction" "me" self;
+        Alcotest.(check int) "epoch survives compaction" 5 (Shard_map.epoch m)
+      | None -> Alcotest.fail "shard map must survive compaction");
+      Alcotest.(check int) "tenant survives compaction" 2
+        (Authority.version auth ~tenant:"mig");
+      Authority.close auth)
+
+(* --- relay: fail-static serving, staleness, forwarding --- *)
+
+let test_relay_serves_and_fail_static () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let relay = Relay.create ~id:"r0" ~tenants:[ "t0" ] () in
+  (* Before any verified sync the relay refuses to serve: a 503, never an
+     empty set that reads as a rollback. *)
+  let r = Relay.handle relay (get "/signatures?tenant=t0&since=0") in
+  Alcotest.(check int) "unsynced relay refuses" 503 r.Http.Response.status;
+  Alcotest.(check (option string)) "retry hinted" (Some "1") (header r "Retry-After");
+  let r = Relay.handle relay (get "/signatures?tenant=nope&since=0") in
+  Alcotest.(check int) "unconfigured tenant" 404 r.Http.Response.status;
+  (* One verified sync and it serves the origin's bytes. *)
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 1 -> ()
+  | _ -> Alcotest.fail "relay sync must land on v1");
+  let c = new_client "t0" in
+  ignore (sync_updated "client via relay" c (Relay.wire_transport relay));
+  check_set "relay-served set" [ s1 ] (Delta_client.signatures c);
+  Alcotest.(check int) "checksums agree through the relay"
+    (Authority.checksum auth ~tenant:"t0")
+    (Delta_client.checksum c);
+  (* The origin moves on; the relay is partitioned: it keeps serving the
+     last verified version, advertising how stale it is. *)
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(fun _ -> Error "partitioned"))
+       .Signature_client.outcome
+   with
+  | Signature_client.Failed _ -> ()
+  | _ -> Alcotest.fail "partitioned sync must fail");
+  Alcotest.(check int) "staleness counted" 1 (Relay.staleness relay ~tenant:"t0");
+  let r = Relay.handle relay (get "/signatures?tenant=t0&since=0") in
+  Alcotest.(check int) "fail-static still serves" 200 r.Http.Response.status;
+  Alcotest.(check (option string)) "staleness advertised" (Some "1")
+    (header r "X-Relay-Staleness");
+  Alcotest.(check (option string)) "relay identifies itself" (Some "r0")
+    (header r "X-Relay-Id");
+  Alcotest.(check (option string)) "old version, honestly" (Some "1")
+    (header r "X-Signature-Version");
+  (* Partition heals: catch up, staleness resets, clients get the delta. *)
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 2 -> ()
+  | _ -> Alcotest.fail "healed sync must land on v2");
+  Alcotest.(check int) "staleness reset" 0 (Relay.staleness relay ~tenant:"t0");
+  ignore (sync_updated "client catches up via relay" c (Relay.wire_transport relay));
+  check_set "delta through the mirror" [ s1; s2 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check int) "served as a delta, not a snapshot" 2
+    k.Delta_client.delta_updates
+
+let test_relay_forwards_candidates () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let relay = Relay.create ~id:"r0" ~tenants:[ "t0" ] () in
+  let body = lines [ candidate [ "cand"; "imsi=240080000000003" ] ] in
+  (* No upstream configured: reports are refused retryably, not dropped. *)
+  let r = Relay.handle relay (post "/candidates?tenant=t0&reporter=r1" body) in
+  Alcotest.(check int) "no upstream is 503" 503 r.Http.Response.status;
+  Relay.set_upstream relay (loss_free auth);
+  let r = Relay.handle relay (post "/candidates?tenant=t0&reporter=r1" body) in
+  Alcotest.(check int) "forwarded upstream" 200 r.Http.Response.status;
+  Alcotest.(check int) "candidate landed on the origin" 1
+    (Authority.pending_candidates auth ~tenant:"t0");
+  let k = Relay.counters relay in
+  Alcotest.(check int) "forward counted" 1 k.Relay.forwarded;
+  Alcotest.(check int) "failure counted" 1 k.Relay.forward_failures
+
+(* --- sync_via: escalation ladder and relay failover --- *)
+
+let test_sync_via_escalates_past_byzantine_relay () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  (* Every relay serves corrupted bytes: flip a character inside the
+     payload, leaving the frame parseable so only verification catches it. *)
+  let corrupting raw =
+    match loss_free auth raw with
+    | Error _ as e -> e
+    | Ok response -> (
+      let find_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i =
+          if i + m > n then None
+          else if String.sub s i m = sub then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      match find_sub response "imei" with
+      | None -> Ok response
+      | Some i ->
+        let b = Bytes.of_string response in
+        Bytes.set b (i + 2) 'X';
+        Ok (Bytes.to_string b))
+  in
+  let origin_calls = ref 0 in
+  let origin raw =
+    incr origin_calls;
+    loss_free auth raw
+  in
+  let c = new_client "t0" in
+  (match
+     (Delta_client.sync_via c ~relays:[ corrupting; corrupting ] ~origin)
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 2 -> ()
+  | Signature_client.Failed e -> Alcotest.failf "escalation failed: %s" e
+  | _ -> Alcotest.fail "must install the head, not skip");
+  Alcotest.(check bool) "origin reached" true (!origin_calls > 0);
+  check_set "true set installed despite the byzantine tier" [ s1; s2 ]
+    (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check bool) "escalation counted" true (k.Delta_client.escalations > 0)
+
+let test_sync_via_rotates_past_dead_relay () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let relay = Relay.create ~id:"r1" ~tenants:[ "t0" ] () in
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 1 -> ()
+  | _ -> Alcotest.fail "relay must sync");
+  let dead _ = Error "connection refused" in
+  let c = new_client "t0" in
+  (* The preferred relay is dead; the next attempt rotates to the live
+     sibling without ever touching the origin. *)
+  let origin _ = Alcotest.fail "origin must not be needed for a dead relay" in
+  (match
+     (Delta_client.sync_via c ~relays:[ dead; Relay.wire_transport relay ] ~origin)
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 1 -> ()
+  | _ -> Alcotest.fail "failover sync must land");
+  check_set "served by the live relay" [ s1 ] (Delta_client.signatures c);
+  let k = Delta_client.counters c in
+  Alcotest.(check int) "no escalation for a mere dead relay" 0
+    k.Delta_client.escalations
+
+(* --- mini topology soak: the full tier end to end --- *)
+
+let test_mini_topology () =
+  with_dir (fun dir ->
+      let config =
+        {
+          Topology.default_config with
+          Topology.clients = 40;
+          tenants = 3;
+          ticks = 400;
+          sync_period = 16;
+          publishes = 12;
+          candidates = 2;
+          partitions = 2;
+          partition_ticks = 50;
+          relay_crashes = 1;
+          epoch_flips = 1;
+          min_offload = 0.5;
+          drain_rounds = 40;
+          seed = 11;
+        }
+      in
+      let report = Topology.run ~dir config in
+      let inv = report.Topology.invariants in
+      Alcotest.(check int) "no divergence" 0 inv.Topology.divergences;
+      Alcotest.(check int) "no regressions" 0 inv.Topology.regressions;
+      Alcotest.(check int) "no sub-k promotions" 0 inv.Topology.sub_k_promotions;
+      Alcotest.(check int) "no recovery mismatches" 0
+        inv.Topology.recovery_mismatches;
+      Alcotest.(check int) "everyone converged" 0 inv.Topology.unconverged;
+      Alcotest.(check bool) "ok" true (Topology.ok report);
+      Alcotest.(check int) "the epoch flipped" 1 report.Topology.epoch_flips_done;
+      Alcotest.(check int) "partitions ran" 2 report.Topology.partitions_done;
+      Alcotest.(check int) "the relay crashed" 1 report.Topology.relay_crashes_done;
+      Alcotest.(check bool) "relays carried most of the load" true
+        (report.Topology.offload > 0.5);
+      Alcotest.(check bool) "faults actually fired" true
+        (List.exists (fun (_, n) -> n > 0) report.Topology.fault_events))
+
 let suite =
   [ ( "distrib.changelog",
       [ Alcotest.test_case "ops" `Quick test_changelog_ops;
@@ -646,7 +1160,14 @@ let suite =
         Alcotest.test_case "entry codec" `Quick test_changelog_codec;
         Alcotest.test_case "restore rejects gaps" `Quick
           test_changelog_restore_rejects_gaps;
-        qtest prop_delta_equals_snapshot ] );
+        Alcotest.test_case "compact keep:0 boundary" `Quick
+          test_changelog_compact_keep_zero;
+        qtest prop_delta_equals_snapshot;
+        qtest prop_compact_since_boundary ] );
+    ( "distrib.shard_map",
+      [ Alcotest.test_case "validation + stability" `Quick test_shard_map_basics;
+        Alcotest.test_case "line codec" `Quick test_shard_map_codec;
+        qtest prop_shard_map_minimal_disruption ] );
     ( "distrib.authority",
       [ Alcotest.test_case "http statuses" `Quick test_authority_http_statuses;
         Alcotest.test_case "snapshot below horizon" `Quick
@@ -671,5 +1192,24 @@ let suite =
         Alcotest.test_case "corrupt body falls back" `Quick
           test_delta_client_rejects_corrupt_body;
         Alcotest.test_case "regression refused" `Quick
-          test_delta_client_refuses_regression ] );
-    ("distrib.soak", [ Alcotest.test_case "mini soak" `Quick test_mini_soak ]) ]
+          test_delta_client_refuses_regression;
+        Alcotest.test_case "304 fork smell" `Quick
+          test_delta_client_304_fork_smell;
+        Alcotest.test_case "escalates past byzantine relays" `Quick
+          test_sync_via_escalates_past_byzantine_relay;
+        Alcotest.test_case "rotates past a dead relay" `Quick
+          test_sync_via_rotates_past_dead_relay ] );
+    ( "distrib.sharding",
+      [ Alcotest.test_case "shard gate" `Quick test_authority_shard_gate;
+        Alcotest.test_case "export / adopt / release" `Quick
+          test_export_adopt_release;
+        Alcotest.test_case "shard state replays" `Quick
+          test_shard_state_replays ] );
+    ( "distrib.relay",
+      [ Alcotest.test_case "serves + fail-static" `Quick
+          test_relay_serves_and_fail_static;
+        Alcotest.test_case "forwards candidates" `Quick
+          test_relay_forwards_candidates ] );
+    ( "distrib.soak",
+      [ Alcotest.test_case "mini soak" `Quick test_mini_soak;
+        Alcotest.test_case "mini topology" `Quick test_mini_topology ] ) ]

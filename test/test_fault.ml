@@ -407,6 +407,72 @@ let test_fetch_content_length_check () =
       (Leakdetect_text.Search.contains ~needle:"content-length mismatch" e)
   | Ok _ -> Alcotest.fail "expected content-length error"
 
+(* --- backoff jitter bounds, both modes --- *)
+
+(* Run one sync against a dead server and return the total waited ticks:
+   with [max_attempts = n] the client sleeps after failed attempts
+   1..n-1, so [waited] is the sum of n-1 backoff draws. *)
+let waited_of ~mode ~seed ~attempts ~base ~max_b ~jitter =
+  let config =
+    { Signature_client.default_config with
+      Signature_client.max_attempts = attempts;
+      base_backoff = base;
+      max_backoff = max_b;
+      jitter;
+      jitter_mode = mode;
+    }
+  in
+  let client = Signature_client.create ~config ~seed () in
+  let report = Signature_client.sync client ~fetch:(fun ~since:_ -> Error "down") in
+  (match report.Signature_client.outcome with
+  | Signature_client.Failed _ -> ()
+  | _ -> Alcotest.fail "dead server must fail the sync");
+  report.Signature_client.waited
+
+let jitter_gen =
+  QCheck.make
+    ~print:(fun (seed, (attempts, (base, (max_b, jitter)))) ->
+      Printf.sprintf "seed %d, %d attempts, base %d, max %d, jitter %d" seed
+        attempts base max_b jitter)
+    QCheck.Gen.(
+      pair (int_range 0 9999)
+        (pair (int_range 2 6)
+           (pair (int_range 1 5) (pair (int_range 1 40) (int_range 0 5)))))
+
+let prop_equal_jitter_bounds =
+  QCheck.Test.make ~name:"equal jitter stays within its envelope" ~count:300
+    jitter_gen
+    (fun (seed, (attempts, (base, (max_b, jitter)))) ->
+      let waited =
+        waited_of ~mode:Signature_client.Equal ~seed ~attempts ~base ~max_b
+          ~jitter
+      in
+      (* Wait k is min(max_b, base * 2^(k-1)) plus uniform(0, jitter). *)
+      let floor_sum = ref 0 in
+      for k = 1 to attempts - 1 do
+        floor_sum := !floor_sum + min max_b (base lsl (k - 1))
+      done;
+      waited >= !floor_sum && waited <= !floor_sum + ((attempts - 1) * jitter))
+
+let prop_decorrelated_jitter_bounds =
+  QCheck.Test.make
+    ~name:"decorrelated jitter stays within its widening envelope" ~count:300
+    jitter_gen
+    (fun (seed, (attempts, (base, (max_b, jitter)))) ->
+      let waited =
+        waited_of ~mode:Signature_client.Decorrelated ~seed ~attempts ~base
+          ~max_b ~jitter
+      in
+      (* Wait k is uniform(base, min(max_b, 3 * wait_{k-1})), so the walk's
+         upper envelope triples from base and the floor is flat. *)
+      let lo = max 1 base in
+      let ub_sum = ref 0 and ub = ref base in
+      for _ = 1 to attempts - 1 do
+        ub := max lo (min max_b (!ub * 3));
+        ub_sum := !ub_sum + !ub
+      done;
+      waited >= (attempts - 1) * lo && waited <= !ub_sum)
+
 (* --- Flow control fail modes --- *)
 
 let test_flow_fail_closed_when_stale () =
@@ -532,6 +598,8 @@ let suite =
         Alcotest.test_case "retry with backoff" `Quick test_client_retries_with_backoff;
         Alcotest.test_case "health state machine" `Quick test_client_health_state_machine;
         Alcotest.test_case "content-length check" `Quick test_fetch_content_length_check;
+        qtest prop_equal_jitter_bounds;
+        qtest prop_decorrelated_jitter_bounds;
       ] );
     ( "fault.flow_control",
       [
