@@ -1,19 +1,32 @@
 (* Multicore pipeline benchmark.
 
-   Measures the three parallelized phases — distance-matrix build,
-   whole-trace detection, end-to-end signature generation — at several
-   job counts on a deterministic synthetic workload, verifies that every
-   parallel result is identical to the sequential one (exact float
-   equality on matrices, byte equality on serialized signatures, equal
-   detection bitmaps and metrics), and writes BENCH_pipeline.json.
+   Measures the parallelized phases — distance-matrix build, whole-trace
+   detection, streaming (fragment-fed) detection, end-to-end signature
+   generation — at several job counts on a deterministic synthetic
+   workload, verifies that every parallel result is identical to the
+   sequential one (exact float equality on matrices, byte equality on
+   serialized signatures, equal detection bitmaps and metrics), and
+   writes BENCH_pipeline.json.
+
+   Every benched phase draws its pool from [Pool.warm], so domain spin-up
+   is paid once per job count for the whole process — the bench measures
+   steady-state phase cost, exactly what a long-lived CLI process pays.
 
    Exits non-zero if any parallel output diverges from jobs=1, so CI can
    run it as a correctness gate as well as a perf probe.
 
-   Usage: bench_pipeline.exe [--quick] [--jobs N]
-     --quick    tiny workload and sample sizes (CI smoke)
-     --jobs N   highest job count to bench (default 4); the benched set
-                is 1, 2, 4, ... doubling up to N. *)
+   Usage: bench_pipeline.exe [--quick] [--jobs N] [--gate-speedup X]
+                             [--throughput-out FILE]
+     --quick              tiny workload and sample sizes (CI smoke)
+     --jobs N             highest job count to bench (default 4); the
+                          benched set is 1, 2, 4, ... doubling up to N
+     --gate-speedup X     fail unless the largest-N end-to-end run at the
+                          highest job count reached X× over jobs=1; the
+                          gate is skipped (with a note) when the machine
+                          has fewer hardware domains than the highest job
+                          count, where the speedup is physically capped
+     --throughput-out F   also write the streaming-throughput section to
+                          F as a standalone JSON artifact *)
 
 module Json = Leakdetect_util.Json
 module Prng = Leakdetect_util.Prng
@@ -30,19 +43,31 @@ module Dist_matrix = Leakdetect_cluster.Dist_matrix
 module Pool = Leakdetect_parallel.Pool
 module Obs = Leakdetect_obs.Obs
 module Normalize = Leakdetect_normalize.Normalize
+module Packet = Leakdetect_http.Packet
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
-let max_jobs =
+let arg_value name parse ~default =
   let rec find i =
-    if i + 1 >= Array.length Sys.argv then 4
-    else if Sys.argv.(i) = "--jobs" then
-      match int_of_string_opt Sys.argv.(i + 1) with
-      | Some n when n >= 1 -> n
-      | _ -> failwith "bench_pipeline: --jobs expects a positive integer"
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then
+      match parse Sys.argv.(i + 1) with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "bench_pipeline: bad value for %s" name)
     else find (i + 1)
   in
   find 0
+
+let max_jobs =
+  arg_value "--jobs" ~default:4 (fun s ->
+      match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let gate_speedup =
+  arg_value "--gate-speedup" ~default:None (fun s ->
+      match float_of_string_opt s with Some x when x > 0. -> Some (Some x) | _ -> None)
+
+let throughput_out =
+  arg_value "--throughput-out" ~default:None (fun s -> Some (Some s))
 
 let job_counts =
   let rec doubling j acc = if j >= max_jobs then List.rev (max_jobs :: acc) else doubling (2 * j) (j :: acc) in
@@ -92,8 +117,19 @@ let dataset =
 let suspicious, normal = Workload.split dataset
 let all_packets = Workload.packets dataset
 
+(* One signature set shared by the detection, streaming and allocation
+   sections, so their numbers are comparable. *)
+let detector =
+  let sample_n = if quick then 40 else 300 in
+  let sample = Sample.without_replacement (Prng.create 7) sample_n suspicious in
+  let gen = Siggen.generate (Distance.create ()) sample in
+  Detector.create gen.Siggen.signatures
+
 let sections : (string * Json.t) list ref = ref []
 let record name v = sections := (name, v) :: !sections
+
+(* Largest-N end-to-end speedup at the highest job count, for --gate-speedup. *)
+let e2e_gate : (int * float) option ref = ref None
 
 (* --- distance matrix ---------------------------------------------------- *)
 
@@ -109,10 +145,8 @@ let bench_matrix () =
         List.map
           (fun jobs ->
             let dist = Distance.create () in
-            let m, seconds =
-              Pool.with_pool jobs (fun pool ->
-                  time (fun () -> Distance.matrix ?pool dist sample))
-            in
+            let pool = Pool.warm jobs in
+            let m, seconds = time (fun () -> Distance.matrix ?pool dist sample) in
             (match !reference with
             | None ->
               reference := Some m;
@@ -142,19 +176,15 @@ let bench_matrix () =
 
 let bench_detection () =
   Printf.printf "\n-- whole-trace detection (%d packets) --\n%!" (Array.length all_packets);
-  let sample_n = if quick then 40 else 300 in
-  let sample = Sample.without_replacement (Prng.create 7) sample_n suspicious in
-  let gen = Siggen.generate (Distance.create ()) sample in
-  let detector = Detector.create gen.Siggen.signatures in
-  Printf.printf "  signature set: %d signatures\n%!" (List.length gen.Siggen.signatures);
+  Printf.printf "  signature set: %d signatures\n%!" (Detector.signature_count detector);
   let reference = ref None in
   let seq_seconds = ref nan in
   let rows =
     List.map
       (fun jobs ->
+        let pool = Pool.warm jobs in
         let bitmap, seconds =
-          Pool.with_pool jobs (fun pool ->
-              time (fun () -> Detector.detect_bitmap ?pool detector all_packets))
+          time (fun () -> Detector.detect_bitmap ?pool detector all_packets)
         in
         (match !reference with
         | None ->
@@ -174,8 +204,152 @@ let bench_detection () =
   record "detection"
     (Json.Obj
        [ ("packets", Json.Int (Array.length all_packets));
-         ("signatures", Json.Int (List.length gen.Siggen.signatures));
+         ("signatures", Json.Int (Detector.signature_count detector));
          ("runs", Json.List rows) ])
+
+(* --- streaming detection ------------------------------------------------- *)
+
+(* RFC 7230 chunked framing of [s] with an irregular chunk width, so the
+   fragment seams land at awkward offsets. *)
+let chunk_encode s =
+  let buf = Buffer.create (String.length s + 64) in
+  let off = ref 0 in
+  let w = ref 5 in
+  while !off < String.length s do
+    let l = min !w (String.length s - !off) in
+    Buffer.add_string buf (Printf.sprintf "%x\r\n" l);
+    Buffer.add_substring buf s !off l;
+    Buffer.add_string buf "\r\n";
+    off := !off + l;
+    w := 1 + ((!w * 3) mod 11)
+  done;
+  Buffer.add_string buf "0\r\n\r\n";
+  Buffer.contents buf
+
+let bench_streaming () =
+  Printf.printf "\n-- streaming detection (fragment-fed flows, batch throughput) --\n%!";
+  (* Flow equivalence: feed every packet as its canonical content stream,
+     the body split into tiny fragments (width cycling 1..7) or framed as a
+     chunked transfer coding, and require the verdict to equal whole-packet
+     detection.  This is the reassembly-free path the monitor runs. *)
+  let stream = Detector.Stream.create detector in
+  let flow = Detector.Stream.open_flow stream in
+  let frag_mismatch = ref 0 and chunk_mismatch = ref 0 in
+  let feed_fragments i s =
+    let w = 1 + (i mod 7) in
+    let len = String.length s in
+    let off = ref 0 in
+    while !off < len do
+      let l = min w (len - !off) in
+      Detector.Stream.feed flow ~off:!off ~len:l s;
+      off := !off + l
+    done
+  in
+  let verify_seconds = ref 0. in
+  let () =
+    let _, seconds =
+      time (fun () ->
+          Array.iteri
+            (fun i (p : Packet.t) ->
+              let c = p.Packet.content in
+              let expect = Detector.detects detector p in
+              feed_fragments i c.Packet.request_line;
+              Detector.Stream.feed flow "\n";
+              feed_fragments i c.Packet.cookie;
+              Detector.Stream.feed flow "\n";
+              feed_fragments i c.Packet.body;
+              if Detector.Stream.close flow <> None <> expect then incr frag_mismatch;
+              Detector.Stream.feed flow c.Packet.request_line;
+              Detector.Stream.feed flow "\n";
+              Detector.Stream.feed flow c.Packet.cookie;
+              Detector.Stream.feed flow "\n";
+              (match Detector.Stream.feed_chunked flow (chunk_encode c.Packet.body) with
+              | Ok _ -> ()
+              | Error _ -> incr chunk_mismatch);
+              if Detector.Stream.close flow <> None <> expect then incr chunk_mismatch)
+            all_packets)
+    in
+    verify_seconds := seconds
+  in
+  check "streaming fragment-fed flow = whole-packet detect" (!frag_mismatch = 0);
+  check "streaming chunked-fed flow = whole-packet detect" (!chunk_mismatch = 0);
+  Printf.printf "  flow equivalence: %d packets x 2 framings in %.3fs (%d mismatches)\n%!"
+    (Array.length all_packets) !verify_seconds (!frag_mismatch + !chunk_mismatch);
+  (* Batch throughput: packets/sec and MiB/s through Detector.Stream at each
+     job count, against the sequential bitmap. *)
+  let reference = ref None in
+  let seq_seconds = ref nan in
+  let rows =
+    List.map
+      (fun jobs ->
+        let pool = Pool.warm jobs in
+        let stream = Detector.Stream.create ?pool detector in
+        let bitmap, seconds = time (fun () -> Detector.Stream.detect_batch stream all_packets) in
+        (match !reference with
+        | None ->
+          reference := Some bitmap;
+          seq_seconds := seconds
+        | Some r -> check (Printf.sprintf "streaming batch bitmap jobs=%d" jobs) (r = bitmap));
+        let st = Detector.Stream.stats stream in
+        let speedup = !seq_seconds /. seconds in
+        let pps = float_of_int st.Detector.Stream.packets /. seconds in
+        let mibps = float_of_int st.Detector.Stream.bytes /. seconds /. 1048576. in
+        Printf.printf "  jobs=%d  %7.3fs  %9.0f packets/s  %7.1f MiB/s  speedup %4.2fx\n%!"
+          jobs seconds pps mibps speedup;
+        Json.Obj
+          [ ("jobs", Json.Int jobs); ("seconds", Json.Float seconds);
+            ("packets_per_sec", Json.Float pps); ("mib_per_sec", Json.Float mibps);
+            ("bytes", Json.Int st.Detector.Stream.bytes);
+            ("hits", Json.Int st.Detector.Stream.hits);
+            ("speedup_vs_jobs1", Json.Float speedup) ])
+      job_counts
+  in
+  let section =
+    Json.Obj
+      [ ("packets", Json.Int (Array.length all_packets));
+        ("signatures", Json.Int (Detector.signature_count detector));
+        ("flow_equivalence_mismatches", Json.Int (!frag_mismatch + !chunk_mismatch));
+        ("runs", Json.List rows) ]
+  in
+  record "streaming" section;
+  section
+
+(* --- detection allocation ------------------------------------------------ *)
+
+let bench_allocation () =
+  Printf.printf "\n-- detection allocation (per-packet scratch vs reused scratch) --\n%!";
+  let naive () =
+    (* The convenience API: a fresh matched-set and matcher state per
+       packet — what the sequential path allocated before scratch reuse. *)
+    Array.fold_left
+      (fun acc p -> if Detector.detects detector p then acc + 1 else acc)
+      0 all_packets
+  in
+  let reused () = Detector.count_detected detector all_packets in
+  ignore (naive ());
+  ignore (reused ());
+  let a0 = Gc.allocated_bytes () in
+  let c_naive = naive () in
+  let a1 = Gc.allocated_bytes () in
+  let c_reused = reused () in
+  let a2 = Gc.allocated_bytes () in
+  let naive_bytes = a1 -. a0 and reused_bytes = a2 -. a1 in
+  check "allocation: naive and scratch-reusing counts agree" (c_naive = c_reused);
+  check "allocation: scratch reuse allocates less than per-packet"
+    (reused_bytes < naive_bytes);
+  let per_packet b = b /. float_of_int (Array.length all_packets) in
+  Printf.printf
+    "  per-packet: %10.0f B  reused scratch: %7.0f B  (%.1fx less, %d packets)\n%!"
+    (per_packet naive_bytes) (per_packet reused_bytes)
+    (naive_bytes /. Float.max 1. reused_bytes)
+    (Array.length all_packets);
+  record "detection_allocation"
+    (Json.Obj
+       [ ("packets", Json.Int (Array.length all_packets));
+         ("naive_bytes", Json.Float naive_bytes);
+         ("reused_scratch_bytes", Json.Float reused_bytes);
+         ("naive_bytes_per_packet", Json.Float (per_packet naive_bytes));
+         ("reused_bytes_per_packet", Json.Float (per_packet reused_bytes)) ])
 
 (* --- end to end ---------------------------------------------------------- *)
 
@@ -188,10 +362,10 @@ let bench_end_to_end () =
       let rows =
         List.map
           (fun jobs ->
+            let pool = Pool.warm jobs in
             let outcome, seconds =
-              Pool.with_pool jobs (fun pool ->
-                  time (fun () ->
-                      Pipeline.run ?pool ~rng:(Prng.create (7 + n)) ~n ~suspicious ~normal ()))
+              time (fun () ->
+                  Pipeline.run ?pool ~rng:(Prng.create (7 + n)) ~n ~suspicious ~normal ())
             in
             let sigs = serialize_signatures outcome.Pipeline.signatures in
             (match !reference with
@@ -204,6 +378,7 @@ let bench_end_to_end () =
                 (Printf.sprintf "e2e metrics N=%d jobs=%d" n jobs)
                 (compare ref_metrics outcome.Pipeline.metrics = 0));
             let speedup = !seq_seconds /. seconds in
+            if jobs = max_jobs then e2e_gate := Some (n, speedup);
             Printf.printf "  N=%-4d jobs=%d  %7.3fs  speedup %4.2fx  (%d signatures, TP %.1f%%)\n%!"
               n jobs seconds speedup
               (List.length outcome.Pipeline.signatures)
@@ -291,6 +466,8 @@ let bench_normalize_overhead () =
 let () =
   bench_matrix ();
   bench_detection ();
+  let streaming_section = bench_streaming () in
+  bench_allocation ();
   bench_end_to_end ();
   bench_obs_overhead ();
   bench_normalize_overhead ();
@@ -309,8 +486,43 @@ let () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote BENCH_pipeline.json\n";
+  (match throughput_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc
+      (Json.to_string_pretty
+         (Json.Obj
+            [ ("recommended_domains", Json.Int (Pool.recommended_jobs ()));
+              ("streaming", streaming_section) ]));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" file);
+  let gate_failed =
+    match gate_speedup with
+    | None -> false
+    | Some floor ->
+      if Pool.recommended_jobs () < max_jobs then begin
+        Printf.printf
+          "speedup gate skipped: %d hardware domain(s) < %d benched jobs (speedup physically capped)\n"
+          (Pool.recommended_jobs ()) max_jobs;
+        false
+      end
+      else begin
+        match !e2e_gate with
+        | None ->
+          Printf.printf "speedup gate FAILED: no end-to-end run at jobs=%d measured\n" max_jobs;
+          true
+        | Some (n, speedup) ->
+          Printf.printf "speedup gate: e2e N=%d jobs=%d reached %.2fx (floor %.2fx): %s\n" n
+            max_jobs speedup floor
+            (if speedup >= floor then "ok" else "FAILED");
+          speedup < floor
+      end
+  in
   if !divergences > 0 then begin
     Printf.printf "FAILED: %d parallel/sequential divergence(s)\n" !divergences;
     exit 1
   end
-  else Printf.printf "all parallel outputs identical to sequential\n"
+  else Printf.printf "all parallel outputs identical to sequential\n";
+  if gate_failed then exit 1

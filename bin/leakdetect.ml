@@ -325,8 +325,8 @@ let sign_cmd =
         ~compressor:config.Pipeline.compressor ()
     in
     let result =
-      Pool.with_pool jobs (fun pool ->
-          Siggen.generate ~config:{ config with Pipeline.pool } dist sample)
+      let pool = Pool.warm jobs in
+      Siggen.generate ~config:{ config with Pipeline.pool } dist sample
     in
     Signature_io.save output result.Siggen.signatures;
     Printf.printf "sampled %d suspicious packets -> %d clusters, %d signatures (%d rejected)\n"
@@ -359,7 +359,7 @@ let cluster_cmd =
       Distance.create ~components:config.Pipeline.components
         ~compressor:config.Pipeline.compressor ()
     in
-    let matrix = Pool.with_pool jobs (fun pool -> Distance.matrix ?pool dist sample) in
+    let matrix = Distance.matrix ?pool:(Pool.warm jobs) dist sample in
     match Leakdetect_cluster.Agglomerative.cluster ~linkage matrix with
     | None -> exit_err "empty sample"
     | Some tree ->
@@ -425,10 +425,10 @@ let detect_cmd =
     let detector = Detector.create signatures in
     let normalize = normalize_of normalize in
     let packets = Array.map (fun r -> r.Trace.packet) records in
-    let bitmap =
-      Pool.with_pool jobs (fun pool ->
-          Detector.detect_bitmap ?pool ?normalize detector packets)
-    in
+    let stream = Detector.Stream.create ?pool:(Pool.warm jobs) ?normalize detector in
+    let t0 = Unix.gettimeofday () in
+    let bitmap = Detector.Stream.detect_batch stream packets in
+    let elapsed = Unix.gettimeofday () -. t0 in
     let detected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bitmap in
     if verbose then
       Array.iteri
@@ -445,7 +445,13 @@ let detect_cmd =
             | None -> ())
         records;
     Printf.printf "%d of %d packets matched %d signatures\n" detected
-      (Array.length records) (List.length signatures)
+      (Array.length records) (List.length signatures);
+    let st = Detector.Stream.stats stream in
+    if elapsed > 0. then
+      Printf.printf "scanned %d bytes in %.3fs (%.0f packets/s, %.1f MiB/s)\n"
+        st.Detector.Stream.bytes elapsed
+        (float_of_int st.Detector.Stream.packets /. elapsed)
+        (float_of_int st.Detector.Stream.bytes /. elapsed /. 1048576.)
   in
   let sig_file =
     Arg.(required
@@ -474,23 +480,23 @@ let evaluate_cmd =
         (config_of ~compressor ~linkage ~cut)
     in
     let rows =
-      Pool.with_pool jobs (fun pool ->
-          List.map
-            (fun n ->
-              let rng = Prng.create (seed + n) in
-              if bayes then begin
-                let o =
-                  Leakdetect_core.Bayes.run ~config ?pool ~rng ~n ~suspicious ~normal ()
-                in
-                Metrics.to_row o.Leakdetect_core.Bayes.metrics
-                @ [ string_of_int o.Leakdetect_core.Bayes.n_tokens ^ " tokens" ]
-              end
-              else begin
-                let o = Pipeline.run ~config ?pool ~rng ~n ~suspicious ~normal () in
-                Metrics.to_row o.Pipeline.metrics
-                @ [ string_of_int (List.length o.Pipeline.signatures) ^ " sigs" ]
-              end)
-            ns)
+      let pool = Pool.warm jobs in
+      List.map
+        (fun n ->
+          let rng = Prng.create (seed + n) in
+          if bayes then begin
+            let o =
+              Leakdetect_core.Bayes.run ~config ?pool ~rng ~n ~suspicious ~normal ()
+            in
+            Metrics.to_row o.Leakdetect_core.Bayes.metrics
+            @ [ string_of_int o.Leakdetect_core.Bayes.n_tokens ^ " tokens" ]
+          end
+          else begin
+            let o = Pipeline.run ~config ?pool ~rng ~n ~suspicious ~normal () in
+            Metrics.to_row o.Pipeline.metrics
+            @ [ string_of_int (List.length o.Pipeline.signatures) ^ " sigs" ]
+          end)
+        ns
     in
     print_string
       (Table.render
@@ -1095,10 +1101,9 @@ let trace_cmd =
         (Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut))
     in
     let outcome =
-      Pool.with_pool ~obs jobs (fun pool ->
-          Pipeline.run
-            ~config:(Pipeline.Config.with_pool pool config)
-            ~rng:(Prng.create seed) ~n ~suspicious ~normal ())
+      Pipeline.run
+        ~config:(Pipeline.Config.with_jobs ~obs jobs config)
+        ~rng:(Prng.create seed) ~n ~suspicious ~normal ()
     in
     let signatures = outcome.Pipeline.signatures in
     Printf.printf "pipeline: %d suspicious / %d normal packets -> %d signatures\n"

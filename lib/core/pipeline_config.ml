@@ -54,6 +54,8 @@ let with_content_metric content_metric t = { t with content_metric }
 let with_whois registry t = { t with registry }
 let with_siggen siggen t = { t with siggen }
 let with_pool pool t = { t with pool }
+
+let with_jobs ?obs jobs t = { t with pool = Leakdetect_parallel.Pool.warm ?obs jobs }
 let with_on_error on_error t = { t with on_error }
 let with_obs obs t = { t with obs }
 let with_normalize normalize t = { t with normalize }

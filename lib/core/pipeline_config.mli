@@ -61,6 +61,14 @@ val with_content_metric : Distance.content_metric -> t -> t
 val with_whois : Leakdetect_net.Registry.t option -> t -> t
 val with_siggen : siggen -> t -> t
 val with_pool : Leakdetect_parallel.Pool.t option -> t -> t
+
+val with_jobs : ?obs:Leakdetect_obs.Obs.t -> int -> t -> t
+(** Attach the process-wide warm pool for [jobs] domains
+    ({!Leakdetect_parallel.Pool.warm}): the domains are spun up once and
+    reused by every phase and every subsequent configuration that asks for
+    the same width, instead of paying domain spawn/teardown per run.
+    [jobs <= 1] selects the sequential path ([pool = None]). *)
+
 val with_on_error : on_error -> t -> t
 val with_obs : Leakdetect_obs.Obs.t -> t -> t
 val with_normalize : Leakdetect_normalize.Normalize.t option -> t -> t

@@ -57,14 +57,19 @@ let parse_header_lines ~limits lines =
       (Ok Headers.empty) lines
 
 (* RFC 7230 §4.1 chunked bodies: [<hex-size>[;ext]\r\n<data>\r\n]* 0\r\n.
-   The reassembled body is bounded by [max_body]; a malformed chunk-size
+   The decoded payload is bounded by [max_body]; a malformed chunk-size
    line or truncated chunk data is a typed error.  Trailer fields after the
-   last chunk are ignored. *)
-let decode_chunked ~limits body =
+   last chunk are ignored.
+
+   [chunked_fragments] is the streaming form: instead of reassembling, it
+   hands each chunk's payload to the callback as an in-place slice of the
+   raw buffer — [f raw ~pos ~len] — so a streaming detector can scan
+   fragments as they are framed, without a reassembly copy followed by a
+   rescan.  Returns the total decoded length. *)
+let chunked_fragments ?(limits = default_limits) body f =
   let module Hex = Leakdetect_util.Hex in
   let len = String.length body in
-  let buf = Buffer.create (min len 1024) in
-  let rec chunk pos =
+  let rec chunk pos total =
     match String.index_from_opt body pos '\n' with
     | None -> Error (Syntax "chunked: chunk-size line not CRLF-terminated")
     | Some nl when nl = pos || body.[nl - 1] <> '\r' ->
@@ -84,21 +89,28 @@ let decode_chunked ~limits body =
       in
       match size with
       | None -> Error (Syntax (Printf.sprintf "chunked: bad chunk-size line %S" line))
-      | Some 0 -> Ok (Buffer.contents buf)
+      | Some 0 -> Ok total
       | Some size ->
         let data_start = nl + 1 in
-        if Buffer.length buf + size > limits.max_body then
-          Error (Body_too_large (Buffer.length buf + size))
+        if total + size > limits.max_body then Error (Body_too_large (total + size))
         else if data_start + size + 2 > len then
           Error (Syntax "chunked: truncated chunk data")
         else if body.[data_start + size] <> '\r' || body.[data_start + size + 1] <> '\n'
         then Error (Syntax "chunked: chunk data not CRLF-terminated")
         else begin
-          Buffer.add_substring buf body data_start size;
-          chunk (data_start + size + 2)
+          f body ~pos:data_start ~len:size;
+          chunk (data_start + size + 2) (total + size)
         end)
   in
-  chunk 0
+  chunk 0 0
+
+let decode_chunked ~limits body =
+  let buf = Buffer.create (min (String.length body) 1024) in
+  match
+    chunked_fragments ~limits body (fun raw ~pos ~len -> Buffer.add_substring buf raw pos len)
+  with
+  | Ok _total -> Ok (Buffer.contents buf)
+  | Error _ as e -> e
 
 let is_chunked headers =
   match Headers.get headers "Transfer-Encoding" with

@@ -32,6 +32,11 @@ type t = {
   prompt_counts : (int, int) Hashtbl.t;
   last_answers : (int, bool) Hashtbl.t;
   mutable detector : Detector.t;
+  (* Reusable scan state (matched-token set + resumable matcher position),
+     sized for [detector]'s automaton; rebuilt whenever the signature set
+     changes.  The monitor processes one packet at a time, so a single
+     scratch removes the per-packet allocation from the enforcement path. *)
+  mutable scratch : Detector.scratch;
   normalize : Normalize.t option;
   mutable health : Signature_client.health;
   mutable events : event list;  (* newest first *)
@@ -56,6 +61,7 @@ let decision_counter obs label =
 
 let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
     ?(on_prompt = deny_all) ?(obs = Obs.noop) ?normalize signatures =
+  let detector = Detector.create signatures in
   {
     policy;
     prompt_budget;
@@ -63,7 +69,8 @@ let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
     on_prompt;
     prompt_counts = Hashtbl.create 16;
     last_answers = Hashtbl.create 16;
-    detector = Detector.create signatures;
+    detector;
+    scratch = Detector.scratch detector;
     normalize;
     health = Signature_client.Healthy;
     events = [];
@@ -80,7 +87,9 @@ let create ?(policy = Policy.create ()) ?prompt_budget ?(fail_mode = Fail_open)
 let prompts_for t ~app_id =
   Option.value ~default:0 (Hashtbl.find_opt t.prompt_counts app_id)
 
-let update_signatures t signatures = t.detector <- Detector.create signatures
+let update_signatures t signatures =
+  t.detector <- Detector.create signatures;
+  t.scratch <- Detector.scratch t.detector
 
 let set_health t health = t.health <- health
 let health t = t.health
@@ -91,7 +100,7 @@ let process t ~app_id packet =
     Option.map
       (fun (s, steps) ->
         Signature_match.of_signature ~via:(List.map Normalize.step_name steps) s)
-      (Detector.first_match_normalized ?normalize:t.normalize t.detector packet)
+      (Detector.first_match_with ?normalize:t.normalize t.detector t.scratch packet)
   in
   let rule = Policy.rule_for t.policy ~app_id in
   let action =

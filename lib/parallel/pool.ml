@@ -2,25 +2,35 @@
 
    Worker domains block on [work_cond] between jobs.  A job is an
    immutable record holding the iteration space and two atomic counters:
-   [next] hands out chunk indices, [completed] counts chunks that have been
+   [next] hands out index ranges, [completed] counts indices that have been
    executed (or skipped after a failure).  Every participant — the workers
    and the submitting domain — runs the same claim loop, so a 1-worker
    pool still overlaps the caller with one domain and a stale worker that
    wakes up late finds the counter exhausted and goes straight back to
-   sleep.  Determinism comes from ownership, not scheduling: chunk
-   boundaries depend only on [n] and the chunk size, and the loop body may
-   only write slots owned by its index. *)
+   sleep.  Determinism comes from ownership, not scheduling: the loop body
+   may only write slots owned by its index, and claims hand out each index
+   exactly once no matter how they interleave.
+
+   Claiming is guided by default: each claim takes a range proportional to
+   the work remaining ([remaining / (2 * jobs)], clamped to
+   [chunk_floor, max_claim]), so early claims are large (few atomic
+   operations) and late claims shrink toward the floor (load balance for
+   bodies whose cost varies by index, e.g. triangular distance-matrix
+   rows).  An explicit [?chunk] forces fixed-size claims instead. *)
+
+type claim_mode = Fixed of int | Guided
 
 type job = {
   n : int;
-  chunk : int;
-  n_chunks : int;
-  next : int Atomic.t;
-  completed : int Atomic.t;
+  mode : claim_mode;
+  jobs : int;
+  next : int Atomic.t;  (* next unclaimed index *)
+  completed : int Atomic.t;  (* indices executed or skipped *)
+  claims : int Atomic.t;  (* successful claim operations *)
   failed : bool Atomic.t;
   exn_slot : (exn * Printexc.raw_backtrace) option Atomic.t;
   (* Called at most once per participating domain, on its first claimed
-     chunk; returns the range runner closed over that domain's scratch. *)
+     range; returns the range runner closed over that domain's scratch. *)
   make_body : unit -> int -> int -> unit;
 }
 
@@ -38,13 +48,46 @@ type t = {
   mutable workers : unit Domain.t array;
   busy : bool Atomic.t;  (* a submission is in flight *)
   mutable closed : bool;
+  mutable last_claims : int;  (* claims of the last job (0 for sequential) *)
 }
+
+(* Floor for a single claim.  Below this, the fetch-and-add (and the cache
+   traffic it causes) costs more than the claimed work amortizes; tiny
+   iteration spaces run sequentially instead of degrading to per-index
+   claims. *)
+let chunk_floor = 16
+
+(* Ceiling for a single guided claim: bounds the tail latency a single
+   straggler domain can add when per-index cost is skewed. *)
+let max_claim = 4096
+
+let claim job =
+  let rec loop () =
+    let lo = Atomic.get job.next in
+    if lo >= job.n then None
+    else begin
+      let size =
+        match job.mode with
+        | Fixed c -> c
+        | Guided ->
+          min max_claim (max chunk_floor ((job.n - lo) / (2 * job.jobs)))
+      in
+      let hi = min job.n (lo + size) in
+      if Atomic.compare_and_set job.next lo hi then begin
+        Atomic.incr job.claims;
+        Some (lo, hi)
+      end
+      else loop ()
+    end
+  in
+  loop ()
 
 let drain job =
   let body = ref None in
   let rec loop () =
-    let c = Atomic.fetch_and_add job.next 1 in
-    if c < job.n_chunks then begin
+    match claim job with
+    | None -> ()
+    | Some (lo, hi) ->
       if not (Atomic.get job.failed) then begin
         (try
            let run =
@@ -55,16 +98,15 @@ let drain job =
                body := Some f;
                f
            in
-           run (c * job.chunk) (min job.n ((c + 1) * job.chunk))
+           run lo hi
          with e ->
            let bt = Printexc.get_raw_backtrace () in
-           (* First failure wins; later chunks are claimed but skipped. *)
+           (* First failure wins; later claims are taken but skipped. *)
            if Atomic.compare_and_set job.exn_slot None (Some (e, bt)) then ();
-           Atomic.set job.failed true);
+           Atomic.set job.failed true)
       end;
-      ignore (Atomic.fetch_and_add job.completed 1);
+      ignore (Atomic.fetch_and_add job.completed (hi - lo));
       loop ()
-    end
   in
   loop ()
 
@@ -114,12 +156,14 @@ let create ?(obs = Obs.noop) jobs =
       workers = [||];
       busy = Atomic.make false;
       closed = false;
+      last_claims = 0;
     }
   in
   t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let size t = t.jobs
+let last_claims t = t.last_claims
 
 let shutdown t =
   if not t.closed then begin
@@ -132,12 +176,6 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let default_chunk ~jobs n =
-  (* Small enough that the atomic counter load-balances uneven bodies
-     (distance-matrix rows shrink linearly), large enough to amortize the
-     fetch-and-add. *)
-  max 1 (min 1024 (n / (8 * jobs)))
-
 let sequential ~init n f =
   if n > 0 then begin
     let scratch = init () in
@@ -146,37 +184,42 @@ let sequential ~init n f =
     done
   end
 
-let count_job t ~mode ~chunks =
+let count_job t ~mode ~claims =
   if not (Obs.is_noop t.obs) then begin
     Obs.Counter.inc
       (Obs.counter t.obs ~help:"Jobs submitted to the pool, by execution mode."
          ~labels:[ ("mode", mode) ]
          "leakdetect_pool_jobs_total");
     Obs.Counter.add
-      (Obs.counter t.obs ~help:"Chunks claimed across all parallel jobs."
+      (Obs.counter t.obs ~help:"Index-range claims across all parallel jobs."
          "leakdetect_pool_chunks_total")
-      chunks
+      claims
   end
 
 let run_job t ~chunk ~init n f =
   if t.closed then invalid_arg "Pool: used after shutdown";
-  let chunk = match chunk with Some c -> max 1 c | None -> default_chunk ~jobs:t.jobs n in
-  let n_chunks = (n + chunk - 1) / chunk in
-  if n_chunks <= 1 || t.jobs = 1 then begin
-    count_job t ~mode:"sequential" ~chunks:0;
+  let mode = match chunk with Some c -> Fixed (max 1 c) | None -> Guided in
+  (* A space that cannot yield at least two claims has nothing to overlap:
+     run it on the caller without waking the pool. *)
+  let worth_splitting =
+    match mode with Fixed c -> n > c | Guided -> n >= 2 * chunk_floor
+  in
+  if (not worth_splitting) || t.jobs = 1 then begin
+    t.last_claims <- 0;
+    count_job t ~mode:"sequential" ~claims:0;
     sequential ~init n f
   end
   else begin
-    count_job t ~mode:"parallel" ~chunks:n_chunks;
     if not (Atomic.compare_and_set t.busy false true) then
       invalid_arg "Pool: concurrent or nested job submission";
     let job =
       {
         n;
-        chunk;
-        n_chunks;
+        mode;
+        jobs = t.jobs;
         next = Atomic.make 0;
         completed = Atomic.make 0;
+        claims = Atomic.make 0;
         failed = Atomic.make false;
         exn_slot = Atomic.make None;
         make_body =
@@ -196,11 +239,13 @@ let run_job t ~chunk ~init n f =
     (* The caller is a participant too. *)
     drain job;
     Mutex.lock t.lock;
-    while Atomic.get job.completed < job.n_chunks do
+    while Atomic.get job.completed < job.n do
       Condition.wait t.done_cond t.lock
     done;
     t.current <- None;
     Mutex.unlock t.lock;
+    t.last_claims <- Atomic.get job.claims;
+    count_job t ~mode:"parallel" ~claims:t.last_claims;
     Atomic.set t.busy false;
     match Atomic.get job.exn_slot with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -234,6 +279,44 @@ let with_pool ?obs jobs f =
   else begin
     let t = create ?obs jobs in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))
+  end
+
+(* --- warm pool registry -------------------------------------------------- *)
+
+(* Spawning domains costs milliseconds; a CLI run or a benchmark that
+   builds a fresh pool around every phase pays it over and over.  The warm
+   registry keeps one pool per requested size alive for the rest of the
+   process and shuts them all down at exit. *)
+
+let warm_lock = Mutex.create ()
+let warm_pools : (int * t) list ref = ref []
+let warm_at_exit = ref false
+
+let shutdown_warm () =
+  Mutex.lock warm_lock;
+  let pools = !warm_pools in
+  warm_pools := [];
+  Mutex.unlock warm_lock;
+  List.iter (fun (_, p) -> shutdown p) pools
+
+let warm ?obs jobs =
+  if jobs <= 1 then None
+  else begin
+    Mutex.lock warm_lock;
+    let pool =
+      match List.assoc_opt jobs !warm_pools with
+      | Some p when not p.closed -> p
+      | _ ->
+        let p = create ?obs jobs in
+        warm_pools := (jobs, p) :: List.remove_assoc jobs !warm_pools;
+        if not !warm_at_exit then begin
+          warm_at_exit := true;
+          at_exit shutdown_warm
+        end;
+        p
+    in
+    Mutex.unlock warm_lock;
+    Some pool
   end
 
 let recommended_jobs () = Domain.recommended_domain_count ()

@@ -3,10 +3,10 @@
     The pipeline's two hot loops — the O(N^2) NCD distance matrix and
     whole-trace detection — are data-parallel over independent indices.
     This pool fans such loops out over [jobs] OCaml 5 domains with a shared
-    {!Stdlib.Atomic} chunk counter.  Work is split into fixed contiguous
-    chunks decided purely by the iteration count, and every result is
-    written to a slot owned by its index, so output is bit-identical to the
-    sequential loop no matter how the scheduler interleaves domains.
+    {!Stdlib.Atomic} index counter.  Work is handed out in contiguous index
+    ranges and every result is written to a slot owned by its index, so
+    output is bit-identical to the sequential loop no matter how the
+    scheduler interleaves domains.
 
     All entry points take [~pool:(t option)]: [None] (or a pool of size 1)
     runs the plain sequential loop on the calling domain, so callers thread
@@ -14,10 +14,12 @@
 
     The pool is persistent: worker domains are spawned once at {!create}
     and block on a condition variable between jobs, so per-call overhead is
-    a broadcast rather than [jobs] domain spawns.  Jobs must not be
-    submitted concurrently from several domains and must not nest (a worker
-    must not submit to its own pool); both are programming errors and raise
-    [Invalid_argument]. *)
+    a broadcast rather than [jobs] domain spawns.  {!warm} goes further and
+    keeps pools alive for the rest of the process, so repeated CLI phases
+    and benchmark iterations reuse already-spun-up domains.  Jobs must not
+    be submitted concurrently from several domains and must not nest (a
+    worker must not submit to its own pool); both are programming errors
+    and raise [Invalid_argument]. *)
 
 type t
 
@@ -26,7 +28,7 @@ val create : ?obs:Leakdetect_obs.Obs.t -> int -> t
     is always the [jobs]-th participant).  [jobs] is clamped below at 1; a
     1-job pool runs everything sequentially on the caller.  [?obs]
     (default noop) records the pool-size gauge and the per-job submission
-    and chunk counters ([leakdetect_pool_*]) — per job, never per index.
+    and claim counters ([leakdetect_pool_*]) — per job, never per index.
     @raise Invalid_argument when [jobs] exceeds 1024. *)
 
 val size : t -> int
@@ -41,13 +43,38 @@ val with_pool : ?obs:Leakdetect_obs.Obs.t -> int -> (t option -> 'a) -> 'a
     [f None] when [jobs <= 1], spawning nothing — and shuts the pool down
     afterwards, exceptions included. *)
 
+val warm : ?obs:Leakdetect_obs.Obs.t -> int -> t option
+(** [warm jobs] is the process-wide persistent pool of that size — created
+    on first use, reused by every later call with the same [jobs], and shut
+    down automatically at process exit.  [None] when [jobs <= 1].  This is
+    what the CLI and the benchmarks use so domain spin-up is paid once per
+    process instead of once per phase.  The same single-submitter rule as
+    {!create} applies. *)
+
+val shutdown_warm : unit -> unit
+(** Shuts down every pool created by {!warm}.  Idempotent; registered
+    [at_exit] automatically. *)
+
+val chunk_floor : int
+(** Minimum indices per claim (16).  Iteration spaces smaller than
+    [2 * chunk_floor] run sequentially — claiming single indices costs more
+    in atomic traffic than the work it spreads. *)
+
+val last_claims : t -> int
+(** Claim operations performed by the last completed job on this pool — 0
+    when it ran sequentially.  Exposed so tests can assert that claiming is
+    coarse (a handful of fetch-and-adds, not one per index). *)
+
 val parallel_for : pool:t option -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for ~pool n f] runs [f i] for every [0 <= i < n], each index
     exactly once.  With a real pool, indices are claimed in contiguous
-    chunks of [chunk] (default: [n / (8 * size)], clamped to [1, 1024]) via
-    an atomic counter.  [f] must be safe to call from any domain and must
-    only write state owned by its index.  The first exception raised by [f]
-    is re-raised on the caller after the loop drains. *)
+    ranges via an atomic counter.  Claims are guided by default: each takes
+    [remaining / (2 * size)] indices, clamped to [{!chunk_floor}, 4096], so
+    claim count stays logarithmic-ish in [n] while late claims shrink for
+    load balance.  [?chunk] forces fixed-size claims instead.  [f] must be
+    safe to call from any domain and must only write state owned by its
+    index.  The first exception raised by [f] is re-raised on the caller
+    after the loop drains. *)
 
 val parallel_for_with :
   pool:t option -> ?chunk:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit

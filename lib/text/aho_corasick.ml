@@ -82,22 +82,72 @@ let build patterns =
 
 let pattern_count t = t.n_patterns
 
+let check_slice name text off len =
+  if off < 0 || len < 0 || off > String.length text - len then
+    invalid_arg (name ^ ": slice out of bounds")
+
+(* The one scanning loop everything else is built on: runs the automaton
+   from [node0] over [len] bytes of [text] starting at [off], reporting
+   matches as [f id end_pos] with [end_pos] counted from [pos0], and
+   returns the node reached — which is exactly the state a later fragment
+   resumes from.  The goto function is total after [build], so there is no
+   failure chasing in here: one array load per byte. *)
+let scan_range t node0 ~pos0 ~off ~len text f =
+  let data = t.nodes.Vec.data in
+  let node = ref node0 in
+  for k = off to off + len - 1 do
+    let c = Char.code (String.unsafe_get text k) in
+    node := Array.unsafe_get (Array.unsafe_get data !node).next c;
+    match (Array.unsafe_get data !node).outputs with
+    | [] -> ()
+    | outputs -> List.iter (fun id -> f id (pos0 + (k - off) + 1)) outputs
+  done;
+  !node
+
 let iter_matches t text f =
-  let state = ref 0 in
-  String.iteri
-    (fun i c ->
-      let node = Vec.get t.nodes !state in
-      state := node.next.(Char.code c);
-      match (Vec.get t.nodes !state).outputs with
-      | [] -> ()
-      | outputs -> List.iter (fun id -> f id (i + 1)) outputs)
-    text
+  ignore (scan_range t 0 ~pos0:0 ~off:0 ~len:(String.length text) text f)
+
+let iter_matches_sub t ~off ~len text f =
+  check_slice "Aho_corasick.iter_matches_sub" text off len;
+  ignore (scan_range t 0 ~pos0:0 ~off ~len text f)
 
 let matched_set_into t seen text =
   if Array.length seen <> t.n_patterns then
     invalid_arg "Aho_corasick.matched_set_into: buffer size mismatch";
   Array.fill seen 0 (Array.length seen) false;
   iter_matches t text (fun id _ -> seen.(id) <- true)
+
+module Stream = struct
+  type state = { mutable node : int; mutable consumed : int }
+
+  let create () = { node = 0; consumed = 0 }
+
+  let reset st =
+    st.node <- 0;
+    st.consumed <- 0
+
+  let consumed st = st.consumed
+
+  (* Defaults resolved inline (not via a slice-returning helper) so the
+     per-fragment hot path allocates no tuple. *)
+  let feed t st ?off ?len text f =
+    let off = match off with None -> 0 | Some o -> o in
+    let len = match len with None -> String.length text - off | Some l -> l in
+    check_slice "Aho_corasick.Stream.feed" text off len;
+    st.node <- scan_range t st.node ~pos0:st.consumed ~off ~len text f;
+    st.consumed <- st.consumed + len
+
+  let feed_into t st seen ?off ?len text =
+    if Array.length seen <> t.n_patterns then
+      invalid_arg "Aho_corasick.Stream.feed_into: buffer size mismatch";
+    let off = match off with None -> 0 | Some o -> o in
+    let len = match len with None -> String.length text - off | Some l -> l in
+    check_slice "Aho_corasick.Stream.feed_into" text off len;
+    st.node <-
+      scan_range t st.node ~pos0:st.consumed ~off ~len text (fun id _ ->
+          Array.unsafe_set seen id true);
+    st.consumed <- st.consumed + len
+end
 
 let matched_set t text =
   let seen = Array.make t.n_patterns false in

@@ -380,6 +380,147 @@ let test_detector_normalize_reencoded () =
 
 (* --- Metrics --- *)
 
+(* --- Detector.Stream: fragment-fed flows --- *)
+
+(* Feed one packet through a flow as its canonical content stream, the
+   fields split into [width]-byte fragments. *)
+let feed_packet_split flow ~width (p : Packet.t) =
+  let feed_split s =
+    let len = String.length s in
+    let off = ref 0 in
+    while !off < len do
+      let l = min width (len - !off) in
+      Detector.Stream.feed flow ~off:!off ~len:l s;
+      off := !off + l
+    done
+  in
+  let c = p.Packet.content in
+  feed_split c.Packet.request_line;
+  Detector.Stream.feed flow "\n";
+  feed_split c.Packet.cookie;
+  Detector.Stream.feed flow "\n";
+  feed_split c.Packet.body
+
+(* RFC 7230 chunked framing with the given chunk width, so seams fall mid-token. *)
+let chunk_encode ~width s =
+  let buf = Buffer.create (String.length s + 32) in
+  let off = ref 0 in
+  while !off < String.length s do
+    let l = min width (String.length s - !off) in
+    Buffer.add_string buf (Printf.sprintf "%x\r\n" l);
+    Buffer.add_substring buf s !off l;
+    Buffer.add_string buf "\r\n";
+    off := !off + l
+  done;
+  Buffer.add_string buf "0\r\n\r\n";
+  Buffer.contents buf
+
+let test_stream_flow_matches_across_seams () =
+  let d =
+    Detector.create
+      [ Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:1
+          [ "imei=355021930123456" ] ]
+  in
+  let stream = Detector.Stream.create d in
+  let flow = Detector.Stream.open_flow stream in
+  let hit = group_a 0 and miss = mk () in
+  (* 1-byte fragments: the token spans every seam. *)
+  feed_packet_split flow ~width:1 hit;
+  (match Detector.Stream.close flow with
+  | Some s -> Alcotest.(check int) "token split across every seam still hits" 0 s.Signature.id
+  | None -> Alcotest.fail "expected a match from fragment-fed flow");
+  (* The flow resets itself: the next packet starts clean. *)
+  feed_packet_split flow ~width:3 miss;
+  Alcotest.(check bool) "clean packet after reuse misses" true
+    (Detector.Stream.close flow = None);
+  let st = Detector.Stream.stats stream in
+  Alcotest.(check int) "packets counted" 2 st.Detector.Stream.packets;
+  Alcotest.(check int) "hits counted" 1 st.Detector.Stream.hits;
+  Alcotest.(check bool) "bytes counted" true (st.Detector.Stream.bytes > 0)
+
+let test_stream_chunked_body () =
+  let d =
+    Detector.create
+      [ Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:1
+          [ "ak=k0"; "FL_2.2" ] ]
+  in
+  let stream = Detector.Stream.create d in
+  let flow = Detector.Stream.open_flow stream in
+  let p = group_b 0 in
+  let c = p.Packet.content in
+  Detector.Stream.feed flow c.Packet.request_line;
+  Detector.Stream.feed flow "\n";
+  Detector.Stream.feed flow c.Packet.cookie;
+  Detector.Stream.feed flow "\n";
+  (* Frame the body as a chunked transfer coding with 2-byte chunks: both
+     tokens span chunk seams and must still match without reassembly. *)
+  (match Detector.Stream.feed_chunked flow (chunk_encode ~width:2 c.Packet.body) with
+  | Ok total -> Alcotest.(check int) "decoded length" (String.length c.Packet.body) total
+  | Error e -> Alcotest.fail (Leakdetect_http.Wire.error_to_string e));
+  Alcotest.(check bool) "chunk-seam-spanning tokens match" true
+    (Detector.Stream.close flow <> None);
+  (* A malformed framing is the wire parser's error, through the same path. *)
+  (match Detector.Stream.feed_chunked flow "zz\r\nxx\r\n0\r\n\r\n" with
+  | Ok _ -> Alcotest.fail "bad chunk-size line must be rejected"
+  | Error _ -> ());
+  ignore (Detector.Stream.close flow)
+
+let test_stream_detect_batch_equals_bitmap () =
+  let sample = Array.init 12 (fun i -> if i < 6 then group_a i else group_b i) in
+  let gen = Siggen.generate (Distance.create ()) sample in
+  let d = Detector.create gen.Siggen.signatures in
+  let packets = Array.init 40 (fun i ->
+      if i mod 3 = 0 then group_a i else if i mod 3 = 1 then group_b i else mk ())
+  in
+  let stream = Detector.Stream.create d in
+  let batch = Detector.Stream.detect_batch stream packets in
+  Alcotest.(check (array bool)) "batch equals detect_bitmap"
+    (Detector.detect_bitmap d packets) batch;
+  let st = Detector.Stream.stats stream in
+  Alcotest.(check int) "batch packets counted" 40 st.Detector.Stream.packets;
+  Alcotest.(check int) "batch hits = bitmap hits"
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 batch)
+    st.Detector.Stream.hits
+
+let prop_stream_split_equals_detect =
+  (* Any fragment split of any packet — including chunked body framing —
+     gives the same verdict as whole-packet detection. *)
+  let gen =
+    QCheck.Gen.(
+      let field = string_size ~gen:(oneofl [ 'a'; 'k'; '0'; '='; '&' ]) (0 -- 25) in
+      pair (pair (1 -- 7) (1 -- 5)) (pair field field))
+  in
+  let sample = Array.init 12 (fun i -> if i < 6 then group_a i else group_b i) in
+  let siggen = Siggen.generate (Distance.create ()) sample in
+  let d = Detector.create siggen.Siggen.signatures in
+  let stream = Detector.Stream.create d in
+  let flow = Detector.Stream.open_flow stream in
+  QCheck.Test.make ~name:"stream flow over any split = whole-packet detect" ~count:200
+    (QCheck.make gen)
+    (fun ((width, chunk_width), (cookie, body)) ->
+      let p = if body = "" then group_a width else group_b width in
+      let p =
+        mk ~host:p.Packet.dst.Packet.host ~rline:p.Packet.content.Packet.request_line
+          ~cookie ~body:(p.Packet.content.Packet.body ^ body) ()
+      in
+      let expect = Detector.detects d p in
+      feed_packet_split flow ~width p;
+      let frag_verdict = Detector.Stream.close flow <> None in
+      let c = p.Packet.content in
+      Detector.Stream.feed flow c.Packet.request_line;
+      Detector.Stream.feed flow "\n";
+      Detector.Stream.feed flow c.Packet.cookie;
+      Detector.Stream.feed flow "\n";
+      let chunk_ok =
+        match
+          Detector.Stream.feed_chunked flow (chunk_encode ~width:chunk_width c.Packet.body)
+        with
+        | Ok total -> total = String.length c.Packet.body
+        | Error _ -> false
+      in
+      let chunk_verdict = Detector.Stream.close flow <> None in
+      frag_verdict = expect && chunk_verdict = expect && chunk_ok)
+
 let test_metrics_paper_formulas () =
   let m =
     Metrics.compute
@@ -559,6 +700,13 @@ let suite =
       [
         Alcotest.test_case "basics" `Quick test_detector_basics;
         Alcotest.test_case "all matches" `Quick test_detector_all_matches;
+        Alcotest.test_case "stream: matches across fragment seams" `Quick
+          test_stream_flow_matches_across_seams;
+        Alcotest.test_case "stream: chunked body without reassembly" `Quick
+          test_stream_chunked_body;
+        Alcotest.test_case "stream: detect_batch equals bitmap" `Quick
+          test_stream_detect_batch_equals_bitmap;
+        qtest prop_stream_split_equals_detect;
         Alcotest.test_case "normalized detection" `Quick
           test_detector_normalize_reencoded;
       ] );

@@ -84,6 +84,56 @@ let test_exception_propagates_and_pool_survives () =
       Pool.parallel_for ~pool 100 (fun i -> ignore (Atomic.fetch_and_add total i));
       Alcotest.(check int) "pool alive after failure" 4950 (Atomic.get total))
 
+let test_guided_claims_are_coarse () =
+  Pool.with_pool 4 (fun pool ->
+      let p = Option.get pool in
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for ~pool n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "guided covers all indices" true
+        (Array.for_all (fun c -> c = 1) hits);
+      let guided = Pool.last_claims p in
+      (* Every guided claim takes at least [chunk_floor] indices, so the
+         claim count is bounded by n/floor plus CAS-race slack — versus one
+         claim per index with the old fine-grained counter. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "guided claims coarse (%d for n=%d)" guided n)
+        true
+        (guided >= 1 && guided <= (n / Pool.chunk_floor) + 4);
+      (* An explicit chunk:1 is the old per-index behavior the guided mode
+         replaces: ~n claim operations for the same loop. *)
+      Pool.parallel_for ~pool ~chunk:1 n ignore;
+      Alcotest.(check bool) "chunk:1 claims per index" true
+        (Pool.last_claims p >= n / 2);
+      Alcotest.(check bool) "guided is at least 4x coarser" true
+        (guided * 4 <= n);
+      (* Below two floors there is nothing to overlap: the job runs on the
+         caller with zero claim traffic. *)
+      Pool.parallel_for ~pool ((2 * Pool.chunk_floor) - 1) ignore;
+      Alcotest.(check int) "tiny n runs sequentially, no claims" 0
+        (Pool.last_claims p))
+
+let test_warm_pool_reused () =
+  Alcotest.(check bool) "warm jobs=1 is sequential" true (Pool.warm 1 = None);
+  let a = Option.get (Pool.warm 3) in
+  Alcotest.(check int) "warm pool size" 3 (Pool.size a);
+  let b = Option.get (Pool.warm 3) in
+  Alcotest.(check bool) "same physical pool across calls" true (a == b);
+  let c = Option.get (Pool.warm 2) in
+  Alcotest.(check bool) "distinct size gives distinct pool" true (a != c);
+  (* Still a working pool, and usable repeatedly. *)
+  let total = Atomic.make 0 in
+  Pool.parallel_for ~pool:(Some a) 100 (fun i -> ignore (Atomic.fetch_and_add total i));
+  Alcotest.(check int) "warm pool executes" 4950 (Atomic.get total);
+  (* After an explicit registry shutdown, warm must hand out a fresh pool
+     rather than the closed one. *)
+  Pool.shutdown_warm ();
+  let d = Option.get (Pool.warm 3) in
+  Alcotest.(check bool) "fresh pool after shutdown_warm" true (a != d);
+  Atomic.set total 0;
+  Pool.parallel_for ~pool:(Some d) 100 (fun i -> ignore (Atomic.fetch_and_add total i));
+  Alcotest.(check int) "fresh warm pool executes" 4950 (Atomic.get total)
+
 let test_shutdown_idempotent () =
   let p = Pool.create 2 in
   Pool.shutdown p;
@@ -242,6 +292,10 @@ let suite =
         Alcotest.test_case "per-domain scratch" `Quick test_parallel_for_with_scratch;
         Alcotest.test_case "exception propagation" `Quick
           test_exception_propagates_and_pool_survives;
+        Alcotest.test_case "guided claims are coarse" `Quick
+          test_guided_claims_are_coarse;
+        Alcotest.test_case "warm pool reused across calls" `Quick
+          test_warm_pool_reused;
         Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         Alcotest.test_case "frozen compressor cache degrades" `Quick
           test_frozen_compressor_cache_degrades;

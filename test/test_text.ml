@@ -326,6 +326,68 @@ let prop_ac_agrees_with_kmp =
         (fun pattern found -> Search.contains ~needle:pattern text = found)
         patterns (Array.to_list m))
 
+(* --- resumable streaming scan --- *)
+
+let test_ac_stream_boundary_spanning () =
+  let ac = Aho_corasick.build [ "abc"; "bcd" ] in
+  let st = Aho_corasick.Stream.create () in
+  let hits = ref [] in
+  let f id pos = hits := (id, pos) :: !hits in
+  (* One byte per fragment: every match spans a fragment boundary. *)
+  Aho_corasick.Stream.feed ac st "a" f;
+  Aho_corasick.Stream.feed ac st "b" f;
+  Aho_corasick.Stream.feed ac st "c" f;
+  Aho_corasick.Stream.feed ac st "d" f;
+  Alcotest.(check (list (pair int int))) "matches across 1-byte fragments"
+    [ (0, 3); (1, 4) ]
+    (List.sort compare !hits);
+  Alcotest.(check int) "consumed counts all fragments" 4
+    (Aho_corasick.Stream.consumed st);
+  (* Reset gives a fresh scan: a dangling prefix must not leak over. *)
+  Aho_corasick.Stream.reset st;
+  let hits2 = ref [] in
+  Aho_corasick.Stream.feed ac st "c" (fun id pos -> hits2 := (id, pos) :: !hits2);
+  Aho_corasick.Stream.feed ac st "d" (fun id pos -> hits2 := (id, pos) :: !hits2);
+  Alcotest.(check (list (pair int int))) "no carry-over after reset" [] !hits2
+
+let test_ac_stream_slices () =
+  let ac = Aho_corasick.build [ "her" ] in
+  let st = Aho_corasick.Stream.create () in
+  let seen = Array.make 1 false in
+  let buf = "xxhexxrxx" in
+  (* Feed the slices "he" and "r" of a larger caller-owned buffer. *)
+  Aho_corasick.Stream.feed_into ac st seen ~off:2 ~len:2 buf;
+  Aho_corasick.Stream.feed_into ac st seen ~off:6 ~len:1 buf;
+  Alcotest.(check bool) "slice-fed fragments match" true seen.(0);
+  Alcotest.check_raises "out-of-bounds slice rejected"
+    (Invalid_argument "Aho_corasick.Stream.feed_into: slice out of bounds")
+    (fun () -> Aho_corasick.Stream.feed_into ac st seen ~off:8 ~len:4 buf)
+
+let prop_ac_stream_equals_whole =
+  (* Feeding arbitrary fragment splits is exactly scanning the
+     concatenation: same matched set, same end positions. *)
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (1 -- 6) (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (1 -- 4)))
+        (list_size (0 -- 8) (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 12))))
+  in
+  QCheck.Test.make ~name:"stream feed over any split = whole-text scan" ~count:500
+    (QCheck.make gen) (fun (patterns, fragments) ->
+      let ac = Aho_corasick.build patterns in
+      let text = String.concat "" fragments in
+      let whole = ref [] in
+      Aho_corasick.iter_matches ac text (fun id pos -> whole := (id, pos) :: !whole);
+      let streamed = ref [] in
+      let st = Aho_corasick.Stream.create () in
+      List.iter
+        (fun frag ->
+          Aho_corasick.Stream.feed ac st frag (fun id pos ->
+              streamed := (id, pos) :: !streamed))
+        fragments;
+      List.sort compare !whole = List.sort compare !streamed
+      && Aho_corasick.Stream.consumed st = String.length text)
+
 let test_matches_ordered_vs_all () =
   (* "ab" then "cd" in order in "abcd" but not in "cdab". *)
   Alcotest.(check bool) "ordered yes" true (Tokens.matches_ordered ~tokens:[ "ab"; "cd" ] "abcd");
@@ -392,5 +454,9 @@ let suite =
         Alcotest.test_case "duplicates" `Quick test_ac_duplicates_and_overlap;
         Alcotest.test_case "empty pattern" `Quick test_ac_empty_pattern;
         qtest prop_ac_agrees_with_kmp;
+        Alcotest.test_case "stream: boundary-spanning matches" `Quick
+          test_ac_stream_boundary_spanning;
+        Alcotest.test_case "stream: slice feeding" `Quick test_ac_stream_slices;
+        qtest prop_ac_stream_equals_whole;
       ] );
   ]
