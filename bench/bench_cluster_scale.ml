@@ -1,0 +1,269 @@
+(* Clustering-scale benchmark: exact O(N^2) backend vs the minhash/LSH
+   sketch prefilter.
+
+   For each sample size N the sketch backend is run end to end (bucketing,
+   per-bucket NCD matrices, clustering, signature extraction) and its
+   wall-clock, bucket statistics, NCD pair counts and detection recall over
+   the whole suspicious corpus are recorded.  The exact backend is measured
+   the same way up to --exact-cap (default 500, the paper's ceiling — exact
+   N=5000 alone would take hours); past the cap its cost is reported as an
+   extrapolation from the measured per-pair rate, clearly labelled.
+
+   Gates (exit 1 on failure):
+     - quality: at N = min(ns) the sketch backend's recall must be >= the
+       exact backend's recall on the same sample;
+     - work: at every N >= 5000 the sketch backend must avoid at least
+       --gate-avoided percent (default 90) of the exact pair computations.
+
+   Usage: bench_cluster_scale.exe [--quick] [--jobs N] [--exact-cap N]
+                                  [--gate-avoided PCT] [--out FILE]
+     --quick         N in {500, 5000} on a scale-0.25 workload (CI smoke)
+     default         N in {500, 5000, 50000} on a scale-2.5 workload
+     --jobs N        pool width for every phase (default 1)
+     --exact-cap N   largest N where exact is measured rather than
+                     extrapolated (default 500)
+     --gate-avoided  minimum percentage of pairs avoided at N >= 5000
+     --out FILE      output path (default BENCH_cluster_scale.json) *)
+
+module Json = Leakdetect_util.Json
+module Prng = Leakdetect_util.Prng
+module Sample = Leakdetect_util.Sample
+module Workload = Leakdetect_android.Workload
+module Pipeline = Leakdetect_core.Pipeline
+module Distance = Leakdetect_core.Distance
+module Siggen = Leakdetect_core.Siggen
+module Clustering = Leakdetect_core.Clustering
+module Detector = Leakdetect_core.Detector
+module Sketch = Leakdetect_sketch.Sketch
+module Pool = Leakdetect_parallel.Pool
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let arg_value name parse ~default =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then
+      match parse Sys.argv.(i + 1) with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "bench_cluster_scale: bad value for %s" name)
+    else find (i + 1)
+  in
+  find 0
+
+let jobs =
+  arg_value "--jobs" ~default:1 (fun s ->
+      match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let exact_cap =
+  arg_value "--exact-cap" ~default:500 (fun s ->
+      match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let gate_avoided =
+  arg_value "--gate-avoided" ~default:90. (fun s ->
+      match float_of_string_opt s with Some x when x >= 0. -> Some x | _ -> None)
+
+let out_file = arg_value "--out" ~default:"BENCH_cluster_scale.json" (fun s -> Some s)
+
+let sketch_params =
+  let pos name ~default =
+    arg_value name ~default (fun s ->
+        match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+  in
+  let p =
+    {
+      Sketch.default with
+      Sketch.shingle_len = pos "--shingle-len" ~default:Sketch.default.Sketch.shingle_len;
+      bands = pos "--lsh-bands" ~default:Sketch.default.Sketch.bands;
+      rows = pos "--lsh-rows" ~default:Sketch.default.Sketch.rows;
+      max_bucket = pos "--max-bucket" ~default:Sketch.default.Sketch.max_bucket;
+    }
+  in
+  (match Sketch.validate p with
+  | Ok () -> ()
+  | Error msg -> failwith ("bench_cluster_scale: " ^ msg));
+  p
+
+let ns = if quick then [ 500; 5000 ] else [ 500; 5000; 50000 ]
+let scale = if quick then 0.25 else 2.5
+
+let failures = ref 0
+
+let check name ok =
+  Printf.printf "  gate: %s: %s\n%!" name (if ok then "ok" else "FAILED");
+  if not ok then incr failures
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let dataset =
+  Printf.printf "workload: seed 42, scale %.2f (jobs %d)...\n%!" scale jobs;
+  let ds, s = time (fun () -> Workload.generate ~seed:42 ~scale ()) in
+  Printf.printf "generated %d packets in %.1fs\n%!" (Array.length ds.Workload.records) s;
+  ds
+
+let suspicious, _normal = Workload.split dataset
+
+let () =
+  Printf.printf "suspicious corpus: %d packets\n%!" (Array.length suspicious);
+  if Array.length suspicious < List.fold_left max 0 ns then
+    Printf.printf "note: largest N clamps to the corpus size\n%!"
+
+let pool = Pool.warm jobs
+let pairs n = n * (n - 1) / 2
+
+(* Recall over the whole suspicious corpus — the quality the prefilter must
+   not lose.  False positives are the sweep's business (see `leakdetect
+   evaluate`); this bench isolates what bucketing can break. *)
+let recall_of signatures =
+  let d = Detector.create signatures in
+  float_of_int (Detector.count_detected ?pool d suspicious)
+  /. float_of_int (max 1 (Array.length suspicious))
+
+let sketch_config =
+  Pipeline.Config.(
+    default
+    |> with_clustering (Clustering.Sketch sketch_params)
+    |> with_pool pool)
+
+let exact_config = Pipeline.Config.(default |> with_pool pool)
+
+type measured = {
+  n : int;
+  seconds : float;
+  clusters : int;
+  signatures : int;
+  recall : float;
+  stats : Clustering.stats;
+}
+
+let run_backend config sample =
+  let dist = Distance.create () in
+  let gen, seconds = time (fun () -> Siggen.generate ~config dist sample) in
+  let stats =
+    match gen.Siggen.stats with
+    | Some s -> s
+    | None -> failwith "bench_cluster_scale: non-empty sample without stats"
+  in
+  {
+    n = Array.length sample;
+    seconds;
+    clusters = List.length gen.Siggen.clusters;
+    signatures = List.length gen.Siggen.signatures;
+    recall = recall_of gen.Siggen.signatures;
+    stats;
+  }
+
+let avoided_pct (s : Clustering.stats) =
+  if s.Clustering.total_pairs = 0 then 0.
+  else
+    100.
+    *. float_of_int (s.Clustering.total_pairs - s.Clustering.exact_pairs)
+    /. float_of_int s.Clustering.total_pairs
+
+let measured_json m =
+  Json.Obj
+    [ ("seconds", Json.Float m.seconds);
+      ("clusters", Json.Int m.clusters);
+      ("signatures", Json.Int m.signatures);
+      ("recall", Json.Float m.recall);
+      ("buckets", Json.Int m.stats.Clustering.buckets);
+      ("largest_bucket", Json.Int m.stats.Clustering.largest_bucket);
+      ("exact_pairs", Json.Int m.stats.Clustering.exact_pairs);
+      ("total_pairs", Json.Int m.stats.Clustering.total_pairs);
+      ("pairs_avoided_pct", Json.Float (avoided_pct m.stats)) ]
+
+let sections = ref []
+let record name v = sections := (name, v) :: !sections
+
+(* Per-pair exact rate measured at the largest N <= exact_cap, for honest
+   extrapolation labels on the Ns where exact is infeasible. *)
+let per_pair_seconds = ref None
+
+let bench_n n =
+  let sample = Sample.without_replacement (Prng.create (11 + n)) n suspicious in
+  let n = Array.length sample in
+  Printf.printf "\n-- N=%d --\n%!" n;
+  let sk = run_backend sketch_config sample in
+  Printf.printf
+    "  sketch: %8.2fs  %4d buckets (largest %4d)  %9d of %10d pairs (%.2f%% avoided)\n%!"
+    sk.seconds sk.stats.Clustering.buckets sk.stats.Clustering.largest_bucket
+    sk.stats.Clustering.exact_pairs sk.stats.Clustering.total_pairs (avoided_pct sk.stats);
+  Printf.printf "  sketch: %d clusters -> %d signatures, recall %.4f\n%!" sk.clusters
+    sk.signatures sk.recall;
+  let exact_json, exact_measured =
+    if n <= exact_cap then begin
+      let ex = run_backend exact_config sample in
+      per_pair_seconds := Some (ex.seconds /. float_of_int (max 1 (pairs n)));
+      Printf.printf "  exact:  %8.2fs  %38s %10d pairs\n%!" ex.seconds "" (pairs n);
+      Printf.printf "  exact:  %d clusters -> %d signatures, recall %.4f\n%!" ex.clusters
+        ex.signatures ex.recall;
+      Printf.printf "  speedup vs exact: %.2fx\n%!" (ex.seconds /. sk.seconds);
+      (Json.Obj (("estimated", Json.Bool false) :: [ ("measured", measured_json ex) ]), Some ex)
+    end
+    else begin
+      let est =
+        match !per_pair_seconds with
+        | Some r -> r *. float_of_int (pairs n)
+        | None -> nan
+      in
+      Printf.printf
+        "  exact:  not measured (N > %d); %d pairs, ~%.0fs extrapolated from measured rate\n%!"
+        exact_cap (pairs n) est;
+      ( Json.Obj
+          [ ("estimated", Json.Bool true); ("pairs", Json.Int (pairs n));
+            ("extrapolated_seconds", Json.Float est) ],
+        None )
+    end
+  in
+  record (Printf.sprintf "n%d" n)
+    (Json.Obj
+       [ ("n", Json.Int n); ("sketch", measured_json sk); ("exact", exact_json) ]);
+  (n, sk, exact_measured)
+
+let () =
+  let results = List.map bench_n ns in
+  Printf.printf "\n-- gates --\n%!";
+  List.iter
+    (fun (n, sk, exact) ->
+      (match exact with
+      | Some ex when n = List.fold_left min max_int ns ->
+        check
+          (Printf.sprintf "recall parity at N=%d (sketch %.4f >= exact %.4f)" n sk.recall
+             ex.recall)
+          (sk.recall >= ex.recall)
+      | _ -> ());
+      if n >= 5000 then
+        check
+          (Printf.sprintf "pairs avoided at N=%d (%.2f%% >= %.0f%%)" n (avoided_pct sk.stats)
+             gate_avoided)
+          (avoided_pct sk.stats >= gate_avoided))
+    results;
+  let doc =
+    Json.Obj
+      (("quick", Json.Bool quick)
+      :: ("scale", Json.Float scale)
+      :: ("jobs", Json.Int jobs)
+      :: ("exact_cap", Json.Int exact_cap)
+      :: ("suspicious_corpus", Json.Int (Array.length suspicious))
+      :: ("sketch_params",
+          Json.Obj
+            [ ("shingle_len", Json.Int sketch_params.Sketch.shingle_len);
+              ("hashes", Json.Int sketch_params.Sketch.hashes);
+              ("bands", Json.Int sketch_params.Sketch.bands);
+              ("rows", Json.Int sketch_params.Sketch.rows);
+              ("max_bucket", Json.Int sketch_params.Sketch.max_bucket);
+              ("threshold", Json.Float (Sketch.threshold sketch_params)) ])
+      :: ("gate_failures", Json.Int !failures)
+      :: List.rev !sections)
+  in
+  let oc = open_out out_file in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file;
+  if !failures > 0 then begin
+    Printf.printf "FAILED: %d gate failure(s)\n" !failures;
+    exit 1
+  end

@@ -21,6 +21,7 @@ module Detector = Leakdetect_core.Detector
 module Sensitive = Leakdetect_core.Sensitive
 module Baseline = Leakdetect_baseline.Baseline
 module Agglomerative = Leakdetect_cluster.Agglomerative
+module Cluster = Leakdetect_cluster.Cluster
 module Compressor = Leakdetect_compress.Compressor
 module Table = Leakdetect_util.Table
 module Prng = Leakdetect_util.Prng
@@ -324,7 +325,8 @@ let ablation_linkage () =
   let run name linkage =
     let config =
       { Pipeline.default_config with
-        Pipeline.siggen = { Siggen.default with Siggen.linkage } }
+        Pipeline.siggen =
+          { Siggen.default with Siggen.algorithm = Cluster.Agglomerative linkage } }
     in
     let o = Pipeline.run ~config ~rng:(Prng.create 7) ~n:ablation_n ~suspicious ~normal () in
     let coph =

@@ -31,6 +31,9 @@ module Detector = Leakdetect_core.Detector
 module Sensitive = Leakdetect_core.Sensitive
 module Compressor = Leakdetect_compress.Compressor
 module Agglomerative = Leakdetect_cluster.Agglomerative
+module Cluster = Leakdetect_cluster.Cluster
+module Clustering = Leakdetect_core.Clustering
+module Sketch = Leakdetect_sketch.Sketch
 module Table = Leakdetect_util.Table
 module Prng = Leakdetect_util.Prng
 module Sample = Leakdetect_util.Sample
@@ -301,25 +304,72 @@ let cut_t =
       & info [ "cut" ] ~docv:"DIST"
           ~doc:"Dendrogram cut threshold; default: a quarter of the maximum distance.")
 
-let config_of ~compressor ~linkage ~cut =
+let clustering_t =
+  Arg.(value
+      & opt (enum [ ("exact", `Exact); ("sketch", `Sketch) ]) `Exact
+      & info [ "clustering" ] ~docv:"BACKEND"
+          ~doc:"Clustering backend: $(b,exact) builds the full O(N^2) NCD matrix \
+                (the paper's procedure); $(b,sketch) buckets near-duplicate payloads \
+                with minhash/LSH first and runs exact NCD only inside buckets.")
+
+let lsh_bands_t =
+  Arg.(value
+      & opt int Clustering.default_sketch.Sketch.bands
+      & info [ "lsh-bands" ] ~docv:"B"
+          ~doc:"LSH bands for --clustering sketch; more bands lower the similarity \
+                needed to share a bucket.")
+
+let lsh_rows_t =
+  Arg.(value
+      & opt int Clustering.default_sketch.Sketch.rows
+      & info [ "lsh-rows" ] ~docv:"R"
+          ~doc:"Minhash slots per LSH band; more rows raise the similarity needed \
+                to share a bucket.")
+
+let backend_of ~clustering ~lsh_bands ~lsh_rows =
+  match clustering with
+  | `Exact -> Clustering.Exact
+  | `Sketch ->
+    let params =
+      { Clustering.default_sketch with Sketch.bands = lsh_bands; rows = lsh_rows }
+    in
+    (match Sketch.validate params with
+    | Ok () -> Clustering.Sketch params
+    | Error msg -> exit_err "invalid sketch parameters: %s" msg)
+
+let pp_bucket_stats (stats : Clustering.stats) =
+  if stats.Clustering.backend = "sketch" then
+    Printf.printf
+      "sketch prefilter: %d buckets (largest %d), %d of %d exact pairs (%.1f%% avoided)\n"
+      stats.Clustering.buckets stats.Clustering.largest_bucket
+      stats.Clustering.exact_pairs stats.Clustering.total_pairs
+      (if stats.Clustering.total_pairs = 0 then 0.
+       else
+         100.
+         *. float_of_int (stats.Clustering.total_pairs - stats.Clustering.exact_pairs)
+         /. float_of_int stats.Clustering.total_pairs)
+
+let config_of ?(clustering = Clustering.Exact) ~compressor ~linkage ~cut () =
   let siggen =
     { Siggen.default with
-      Siggen.linkage;
+      Siggen.algorithm = Cluster.Agglomerative linkage;
       cut = (match cut with Some v -> Siggen.Threshold v | None -> Siggen.Auto);
     }
   in
-  { Pipeline.default_config with Pipeline.compressor; siggen }
+  { Pipeline.default_config with Pipeline.compressor; siggen; clustering }
 
 (* --- sign --- *)
 
 let sign_cmd =
-  let run seed scale trace n compressor linkage cut jobs output =
+  let run seed scale trace n compressor linkage cut clustering lsh_bands lsh_rows jobs
+      output =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, _ = split_records records in
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
     let rng = Prng.create seed in
     let sample = Sample.without_replacement rng n suspicious in
-    let config = config_of ~compressor ~linkage ~cut in
+    let clustering = backend_of ~clustering ~lsh_bands ~lsh_rows in
+    let config = config_of ~clustering ~compressor ~linkage ~cut () in
     let dist =
       Distance.create ~components:config.Pipeline.components
         ~compressor:config.Pipeline.compressor ()
@@ -334,6 +384,7 @@ let sign_cmd =
       (List.length result.Siggen.clusters)
       (List.length result.Siggen.signatures)
       result.Siggen.rejected;
+    Option.iter pp_bucket_stats result.Siggen.stats;
     Printf.printf "wrote %s\n" output
   in
   let output =
@@ -343,26 +394,44 @@ let sign_cmd =
   Cmd.v
     (Cmd.info "sign" ~doc:"Cluster suspicious packets and generate signatures.")
     Term.(const run $ seed_t $ scale_t $ trace_t $ n_t $ compressor_t $ linkage_t $ cut_t
-          $ jobs_t $ output)
+          $ clustering_t $ lsh_bands_t $ lsh_rows_t $ jobs_t $ output)
 
 (* --- cluster --- *)
 
 let cluster_cmd =
-  let run () seed scale trace n compressor linkage cut jobs newick =
+  let run () seed scale trace n compressor linkage cut clustering lsh_bands lsh_rows
+      jobs newick =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, _ = split_records records in
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
     let rng = Prng.create seed in
     let sample = Sample.without_replacement rng n suspicious in
-    let config = config_of ~compressor ~linkage ~cut in
+    let backend = backend_of ~clustering ~lsh_bands ~lsh_rows in
+    let config = config_of ~clustering:backend ~compressor ~linkage ~cut () in
     let dist =
       Distance.create ~components:config.Pipeline.components
         ~compressor:config.Pipeline.compressor ()
     in
-    let matrix = Distance.matrix ?pool:(Pool.warm jobs) dist sample in
-    match Leakdetect_cluster.Agglomerative.cluster ~linkage matrix with
-    | None -> exit_err "empty sample"
-    | Some tree ->
+    let pool = Pool.warm jobs in
+    let algorithm = Cluster.Agglomerative linkage in
+    (* The exact path keeps its own matrix so the cophenetic correlation can
+       be reported; sketch mode never materializes the full matrix, so the
+       bucket statistics stand in for it. *)
+    let tree, cophenetic, stats =
+      match backend with
+      | Clustering.Exact -> (
+        let matrix = Distance.matrix ?pool dist sample in
+        match Cluster.run algorithm matrix with
+        | Cluster.Hierarchy tree ->
+          (tree, Some (Leakdetect_cluster.Cophenetic.correlation matrix tree), None)
+        | Cluster.Empty | Cluster.Partition _ -> exit_err "empty sample")
+      | Clustering.Sketch _ -> (
+        let r = Clustering.run ?pool ~backend ~algorithm dist sample in
+        match r.Clustering.output with
+        | Cluster.Hierarchy tree -> (tree, None, Some r.Clustering.stats)
+        | Cluster.Empty | Cluster.Partition _ -> exit_err "empty sample")
+    in
+    begin
       let threshold =
         match cut with
         | Some v -> v
@@ -383,8 +452,10 @@ let cluster_cmd =
             (Leakdetect_cluster.Dendrogram.height subtree)
             (String.concat ", " hosts))
         forest;
-      Printf.printf "\ncophenetic correlation: %.3f\n"
-        (Leakdetect_cluster.Cophenetic.correlation matrix tree);
+      Option.iter
+        (fun c -> Printf.printf "\ncophenetic correlation: %.3f\n" c)
+        cophenetic;
+      Option.iter pp_bucket_stats stats;
       match newick with
       | None -> ()
       | Some path ->
@@ -400,6 +471,7 @@ let cluster_cmd =
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path
+    end
   in
   let n_small =
     Arg.(value & opt int 60
@@ -414,7 +486,8 @@ let cluster_cmd =
     (Cmd.info "cluster"
        ~doc:"Cluster a sample of suspicious packets and report the dendrogram.")
     Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ n_small $ compressor_t
-          $ linkage_t $ cut_t $ jobs_t $ newick)
+          $ linkage_t $ cut_t $ clustering_t $ lsh_bands_t $ lsh_rows_t $ jobs_t
+          $ newick)
 
 (* --- detect --- *)
 
@@ -469,15 +542,17 @@ let detect_cmd =
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run () seed scale trace ns compressor linkage cut jobs bayes normalize =
+  let run () seed scale trace ns compressor linkage cut clustering lsh_bands lsh_rows
+      jobs bayes normalize =
     let records = load_records ~trace ~seed ~scale in
     let suspicious, normal = split_records records in
     Printf.printf "dataset: %d suspicious, %d normal%s\n\n" (Array.length suspicious)
       (Array.length normal)
       (if bayes then " (probabilistic signatures)" else "");
+    let clustering = backend_of ~clustering ~lsh_bands ~lsh_rows in
     let config =
       Pipeline.Config.with_normalize (normalize_of normalize)
-        (config_of ~compressor ~linkage ~cut)
+        (config_of ~clustering ~compressor ~linkage ~cut ())
     in
     let rows =
       let pool = Pool.warm jobs in
@@ -519,7 +594,8 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Run the full pipeline and report the paper's TP/FN/FP metrics.")
     Term.(const run $ setup_log_t $ seed_t $ scale_t $ trace_t $ ns $ compressor_t
-          $ linkage_t $ cut_t $ jobs_t $ bayes $ normalize_t)
+          $ linkage_t $ cut_t $ clustering_t $ lsh_bands_t $ lsh_rows_t $ jobs_t
+          $ bayes $ normalize_t)
 
 (* --- monitor --- *)
 
@@ -1098,7 +1174,7 @@ let trace_cmd =
     if Array.length suspicious = 0 then exit_err "trace has no sensitive packets";
     let config =
       Pipeline.Config.with_normalize normalize
-        (Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut))
+        (Pipeline.Config.with_obs obs (config_of ~compressor ~linkage ~cut ()))
     in
     let outcome =
       Pipeline.run

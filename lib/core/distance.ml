@@ -124,47 +124,52 @@ let prewarm ~pool t packets =
 
 module Obs = Leakdetect_obs.Obs
 
+(* Freeze-window combinator shared by the full matrix build and the
+   sketch-bucketed driver: prewarm every per-string quantity, freeze both
+   caches, hand the body a per-domain context factory, thaw on the way out.
+   When the caller arrives with already-frozen caches (a warm context
+   reused across runs), every singleton — and any pair the previous runs
+   populated — is served read-only from the shared tables, so layering a
+   fresh shadow per domain would only add a probe of empty tables to every
+   lookup.  Shadows are built just for this call's own freeze, where they
+   restore the pair-level C(xy) dedup the sealed tables cannot absorb.
+   Either way the values are identical: caching only skips recomputation. *)
+let with_frozen ?pool t packets f =
+  let was_frozen = Compressor.Cache.frozen t.cache in
+  if not was_frozen then prewarm ~pool t packets;
+  Fun.protect
+    ~finally:(fun () ->
+      if not was_frozen then begin
+        Compressor.Cache.thaw t.cache;
+        Leakdetect_text.Trigram.Cache.thaw t.trigram_cache
+      end)
+    (fun () ->
+      let init =
+        if was_frozen then fun () -> t
+        else
+          fun () ->
+            { t with
+              cache = Compressor.Cache.shadow t.cache;
+              trigram_cache = Leakdetect_text.Trigram.Cache.shadow t.trigram_cache }
+      in
+      f ~init)
+
 let build_matrix ?pool t packets =
   let n = Array.length packets in
   let parallel = match pool with Some p -> Pool.size p > 1 | None -> false in
   if not parallel then
     Leakdetect_cluster.Dist_matrix.build n (fun i j -> d_pkt t packets.(i) packets.(j))
-  else begin
-    let was_frozen = Compressor.Cache.frozen t.cache in
-    if not was_frozen then prewarm ~pool t packets;
-    Fun.protect
-      ~finally:(fun () ->
-        if not was_frozen then begin
-          Compressor.Cache.thaw t.cache;
-          Leakdetect_text.Trigram.Cache.thaw t.trigram_cache
-        end)
-      (fun () ->
+  else
+    with_frozen ?pool t packets (fun ~init ->
         let m = Leakdetect_cluster.Dist_matrix.create n in
-        (* When the caller arrives with already-frozen caches (a warm
-           context reused across runs), every singleton — and any pair the
-           previous runs populated — is served read-only from the shared
-           tables, so layering a fresh shadow per domain would only add a
-           probe of empty tables to every lookup.  Shadows are built just
-           for this run's own freeze, where they restore the pair-level
-           C(xy) dedup the sealed tables cannot absorb.  Either way the
-           values are identical: caching only skips recomputation.  Row i
-           owns a contiguous condensed range, so every cell is written
-           exactly once; guided claiming hands out large row ranges first
-           and shrinks toward the floor as the triangle drains. *)
-        let init =
-          if was_frozen then fun () -> t
-          else
-            fun () ->
-              { t with
-                cache = Compressor.Cache.shadow t.cache;
-                trigram_cache = Leakdetect_text.Trigram.Cache.shadow t.trigram_cache }
-        in
+        (* Row i owns a contiguous condensed range, so every cell is
+           written exactly once; guided claiming hands out large row ranges
+           first and shrinks toward the floor as the triangle drains. *)
         Pool.parallel_for_with ~pool ~init n (fun local i ->
             for j = i + 1 to n - 1 do
               Leakdetect_cluster.Dist_matrix.set m i j (d_pkt local packets.(i) packets.(j))
             done);
         m)
-  end
 
 let matrix ?pool ?(obs = Obs.noop) t packets =
   if Obs.is_noop obs then build_matrix ?pool t packets

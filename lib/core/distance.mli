@@ -95,6 +95,23 @@ val matrix :
     pair-specific work and are computed inside the loop either way.  The
     resulting matrix is bit-identical to the sequential build. *)
 
+val with_frozen :
+  ?pool:Leakdetect_parallel.Pool.t ->
+  t ->
+  Leakdetect_http.Packet.t array ->
+  (init:(unit -> t) -> 'a) ->
+  'a
+(** [with_frozen ?pool t packets f] runs [f] inside the two-phase freeze
+    window that makes this context safe to share across domains: every
+    per-string compressed length (or trigram profile) over [packets] is
+    computed in a sealed prewarm pass, both caches are frozen, and [f]
+    receives an [init] factory producing per-domain contexts (shadow
+    overlays over the frozen tables, or [t] itself when the caches were
+    already frozen by an enclosing call).  Caches are thawed when [f]
+    returns or raises.  [Distance.matrix] uses this internally; the
+    sketch-bucketed clustering driver uses it to fan whole buckets out
+    across domains while building each bucket's matrix sequentially. *)
+
 val ncd_cache : t -> Leakdetect_compress.Compressor.Cache.t
 (** The NCD cache backing this context — exposed for cache statistics in
     benchmarks and for tests of the freezing protocol. *)

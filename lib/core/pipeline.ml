@@ -14,6 +14,7 @@ type config = Pipeline_config.t = {
   content_metric : Distance.content_metric;
   registry : Leakdetect_net.Registry.t option;
   siggen : Siggen.config;
+  clustering : Clustering.backend;
   pool : Leakdetect_parallel.Pool.t option;
   on_error : Config.on_error;
   sample_n : int;

@@ -13,6 +13,8 @@ type config = Pipeline_config.t = {
   registry : Leakdetect_net.Registry.t option;
       (** WHOIS refinement of the destination distance (Sec. VI). *)
   siggen : Siggen.config;
+  clustering : Clustering.backend;
+      (** Exact O(N²) clustering or the minhash/LSH sketch prefilter. *)
   pool : Leakdetect_parallel.Pool.t option;
   on_error : Config.on_error;
   sample_n : int;

@@ -3,7 +3,7 @@ module Obs = Leakdetect_obs.Obs
 type cut = Auto | Threshold of float | Count of int | Every_merge
 
 type siggen = {
-  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  algorithm : Leakdetect_cluster.Cluster.algorithm;
   cut : cut;
   min_token_len : int;
   min_specificity : int;
@@ -12,7 +12,7 @@ type siggen = {
 
 let default_siggen =
   {
-    linkage = Leakdetect_cluster.Agglomerative.Group_average;
+    algorithm = Leakdetect_cluster.Cluster.default;
     cut = Auto;
     min_token_len = 3;
     min_specificity = 8;
@@ -27,6 +27,7 @@ type t = {
   content_metric : Distance.content_metric;
   registry : Leakdetect_net.Registry.t option;
   siggen : siggen;
+  clustering : Clustering.backend;
   pool : Leakdetect_parallel.Pool.t option;
   on_error : on_error;
   sample_n : int;
@@ -41,6 +42,7 @@ let default =
     content_metric = Distance.Ncd;
     registry = None;
     siggen = default_siggen;
+    clustering = Clustering.Exact;
     pool = None;
     on_error = `Fail;
     sample_n = 500;
@@ -53,6 +55,7 @@ let with_compressor compressor t = { t with compressor }
 let with_content_metric content_metric t = { t with content_metric }
 let with_whois registry t = { t with registry }
 let with_siggen siggen t = { t with siggen }
+let with_clustering clustering t = { t with clustering }
 let with_pool pool t = { t with pool }
 
 let with_jobs ?obs jobs t = { t with pool = Leakdetect_parallel.Pool.warm ?obs jobs }
@@ -64,7 +67,10 @@ let with_sample_n sample_n t =
   if sample_n < 0 then invalid_arg "Pipeline.Config.with_sample_n: negative N";
   { t with sample_n }
 
-let with_linkage linkage t = { t with siggen = { t.siggen with linkage } }
+let with_algorithm algorithm t = { t with siggen = { t.siggen with algorithm } }
+
+let with_linkage linkage t =
+  with_algorithm (Leakdetect_cluster.Cluster.Agglomerative linkage) t
 let with_cut cut t = { t with siggen = { t.siggen with cut } }
 let with_min_token_len min_token_len t = { t with siggen = { t.siggen with min_token_len } }
 let with_min_specificity min_specificity t =

@@ -17,7 +17,9 @@
 type cut = Auto | Threshold of float | Count of int | Every_merge
 
 type siggen = {
-  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  algorithm : Leakdetect_cluster.Cluster.algorithm;
+      (** Clustering algorithm, selected by value (default
+          [Agglomerative Group_average], the paper's configuration). *)
   cut : cut;
   min_token_len : int;  (** Tokens shorter than this are dropped (default 3). *)
   min_specificity : int;
@@ -41,6 +43,9 @@ type t = {
   registry : Leakdetect_net.Registry.t option;
       (** WHOIS refinement of the destination distance (Sec. VI). *)
   siggen : siggen;
+  clustering : Clustering.backend;
+      (** Exact O(N²) clustering (default) or the minhash/LSH sketch
+          prefilter — see {!Clustering}. *)
   pool : Leakdetect_parallel.Pool.t option;
       (** Domain pool for the parallel phases; [None] = sequential. *)
   on_error : on_error;  (** Parse-error policy for loaders (default [`Fail]). *)
@@ -60,6 +65,11 @@ val with_compressor : Leakdetect_compress.Compressor.algorithm -> t -> t
 val with_content_metric : Distance.content_metric -> t -> t
 val with_whois : Leakdetect_net.Registry.t option -> t -> t
 val with_siggen : siggen -> t -> t
+
+val with_clustering : Clustering.backend -> t -> t
+(** Select the clustering backend: [Clustering.Exact] (the default) or
+    [Clustering.Sketch params] for sub-quadratic LSH-bucketed runs. *)
+
 val with_pool : Leakdetect_parallel.Pool.t option -> t -> t
 
 val with_jobs : ?obs:Leakdetect_obs.Obs.t -> int -> t -> t
@@ -76,7 +86,12 @@ val with_normalize : Leakdetect_normalize.Normalize.t option -> t -> t
 val with_sample_n : int -> t -> t
 (** @raise Invalid_argument when negative. *)
 
+val with_algorithm : Leakdetect_cluster.Cluster.algorithm -> t -> t
+
 val with_linkage : Leakdetect_cluster.Agglomerative.linkage -> t -> t
+(** [with_linkage l] is [with_algorithm (Agglomerative l)] — kept because
+    linkage is the knob the paper's ablation sweeps. *)
+
 val with_cut : cut -> t -> t
 val with_min_token_len : int -> t -> t
 val with_min_specificity : int -> t -> t

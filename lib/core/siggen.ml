@@ -1,5 +1,5 @@
 module Dendrogram = Leakdetect_cluster.Dendrogram
-module Agglomerative = Leakdetect_cluster.Agglomerative
+module Cluster = Leakdetect_cluster.Cluster
 module Tokens = Leakdetect_text.Tokens
 module Packet = Leakdetect_http.Packet
 module Obs = Leakdetect_obs.Obs
@@ -11,7 +11,7 @@ module Log = (val Logs.src_log log_src)
 type cut = Pipeline_config.cut = Auto | Threshold of float | Count of int | Every_merge
 
 type config = Pipeline_config.siggen = {
-  linkage : Agglomerative.linkage;
+  algorithm : Cluster.algorithm;
   cut : cut;
   min_token_len : int;
   min_specificity : int;
@@ -25,6 +25,7 @@ type result = {
   dendrogram : Dendrogram.t option;
   clusters : int list list;
   rejected : int;
+  stats : Clustering.stats option;
 }
 
 let cut_threshold_value config dist =
@@ -42,25 +43,38 @@ let generate ?(config = Pipeline_config.default) dist sample =
   let obs = config.Pipeline_config.obs in
   let sg = config.Pipeline_config.siggen in
   if Array.length sample = 0 then
-    { signatures = []; dendrogram = None; clusters = []; rejected = 0 }
+    { signatures = []; dendrogram = None; clusters = []; rejected = 0; stats = None }
   else
     Obs.with_span obs "siggen.generate" @@ fun () ->
-    let matrix = Distance.matrix ?pool:config.Pipeline_config.pool ~obs dist sample in
-    let dendrogram =
+    let clustered =
       Obs.with_span obs "siggen.cluster" (fun () ->
-          Agglomerative.cluster ~linkage:sg.linkage matrix)
+          Clustering.run ?pool:config.Pipeline_config.pool ~obs
+            ~backend:config.Pipeline_config.clustering ~algorithm:sg.algorithm dist
+            sample)
     in
-    let forest =
-      match dendrogram with
-      | None -> []
-      | Some tree -> (
-        match sg.cut with
-        | Count k -> Dendrogram.cut_into k tree
-        | Every_merge -> internal_subtrees tree
-        | Auto | Threshold _ ->
-          Dendrogram.cut ~threshold:(cut_threshold_value sg dist) tree)
+    let dendrogram =
+      match clustered.Clustering.output with
+      | Cluster.Hierarchy tree -> Some tree
+      | Cluster.Empty | Cluster.Partition _ -> None
     in
-    let clusters = List.map Dendrogram.members forest in
+    let clusters =
+      match clustered.Clustering.output with
+      | Cluster.Empty -> []
+      | Cluster.Hierarchy tree ->
+        let forest =
+          match sg.cut with
+          | Count k -> Dendrogram.cut_into k tree
+          | Every_merge -> internal_subtrees tree
+          | Auto | Threshold _ ->
+            Dendrogram.cut ~threshold:(cut_threshold_value sg dist) tree
+        in
+        List.map Dendrogram.members forest
+      | Cluster.Partition _ as p ->
+        (* Partitional algorithms fix their cluster structure themselves;
+           the cut policy has nothing to act on.  Noise items become
+           singletons (exact-match signatures at most). *)
+        Cluster.flat_clusters p
+    in
     let next_id = ref 0 and rejected = ref 0 in
     let seen_tokens = Hashtbl.create 64 in
     let signatures =
@@ -111,19 +125,13 @@ let generate ?(config = Pipeline_config.default) dist sample =
          "leakdetect_siggen_signatures_total")
       !rejected;
     Log.info (fun m ->
-        m "sample of %d -> %d clusters, %d signatures (%d rejected)"
+        m "sample of %d -> %d clusters, %d signatures (%d rejected) [%s/%s]"
           (Array.length sample) (List.length clusters) (List.length signatures)
-          !rejected);
+          !rejected
+          clustered.Clustering.stats.Clustering.backend
+          (Cluster.name sg.algorithm));
     List.iter
       (fun s -> Log.debug (fun m -> m "signature: %a" Signature.pp s))
       signatures;
-    { signatures; dendrogram; clusters; rejected = !rejected }
-
-let generate_with ?pool ?obs config dist sample =
-  let cfg =
-    { Pipeline_config.default with Pipeline_config.siggen = config; pool }
-  in
-  let cfg =
-    match obs with Some obs -> { cfg with Pipeline_config.obs } | None -> cfg
-  in
-  generate ~config:cfg dist sample
+    { signatures; dendrogram; clusters; rejected = !rejected;
+      stats = Some clustered.Clustering.stats }

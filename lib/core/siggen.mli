@@ -15,7 +15,8 @@ type cut = Pipeline_config.cut = Auto | Threshold of float | Count of int | Ever
     unified config.) *)
 
 type config = Pipeline_config.siggen = {
-  linkage : Leakdetect_cluster.Agglomerative.linkage;
+  algorithm : Leakdetect_cluster.Cluster.algorithm;
+      (** Clustering algorithm, selected by value. *)
   cut : cut;
   min_token_len : int;  (** Tokens shorter than this are dropped (default 3). *)
   min_specificity : int;
@@ -31,8 +32,13 @@ val default : config
 type result = {
   signatures : Signature.t list;
   dendrogram : Leakdetect_cluster.Dendrogram.t option;
+      (** The (merged) dendrogram for hierarchical algorithms; [None] for
+          partitional algorithms and empty samples. *)
   clusters : int list list;  (** Sample indices per cluster, post-cut. *)
   rejected : int;  (** Clusters whose signature failed the filters. *)
+  stats : Clustering.stats option;
+      (** Backend statistics (bucket counts, exact pairs computed);
+          [None] only for the empty sample. *)
 }
 
 val generate :
@@ -40,19 +46,12 @@ val generate :
 (** [generate ~config dist sample] clusters the sample and extracts one
     signature per surviving cluster.  Signature ids number accepted
     clusters from 0 in cut order.  The clustering knobs come from
-    [config.siggen]; [config.pool] parallelizes the distance matrix (see
-    {!Distance.matrix}); clustering itself stays sequential, so the result
-    is identical for every pool size.  [config.obs] records spans
-    ([siggen.generate] > [siggen.cluster] / [siggen.tokens]) and the
-    cluster / signature counters. *)
-
-val generate_with :
-  ?pool:Leakdetect_parallel.Pool.t ->
-  ?obs:Leakdetect_obs.Obs.t ->
-  config -> Distance.t -> Leakdetect_http.Packet.t array -> result
-[@@ocaml.deprecated "Use generate ?config with a unified Pipeline.Config.t."]
-(** Pre-[Config] signature, kept so existing call sites compile: builds a
-    default unified config around the given siggen sub-config. *)
+    [config.siggen], the backend ([Exact] or [Sketch]) from
+    [config.clustering]; [config.pool] parallelizes the distance matrix /
+    bucketed clustering (see {!Distance.matrix} and {!Clustering.run});
+    the result is identical for every pool size.  [config.obs] records
+    spans ([siggen.generate] > [siggen.cluster] / [siggen.tokens]) and
+    the cluster / signature counters. *)
 
 val cut_threshold_value : config -> Distance.t -> float
 (** The concrete threshold [Auto] resolves to (exposed for reporting). *)

@@ -1,0 +1,59 @@
+(* 64-bit minhash.  Each of the [hashes] slots carries an independent
+   permutation proxy: a SplitMix64-style finalizer keyed by one Prng draw.
+   The signature slot is the minimum keyed hash over the shingle set, so
+   P[slot_a = slot_b] equals the Jaccard similarity of the two sets and the
+   fraction of agreeing slots is an unbiased estimator with variance
+   J(1-J)/hashes. *)
+
+module Prng = Leakdetect_util.Prng
+
+type t = { keys : int64 array }
+
+let hashes t = Array.length t.keys
+
+let create ~hashes ~seed =
+  if hashes < 1 then invalid_arg "Minhash.create: hashes must be >= 1";
+  let rng = Prng.create seed in
+  (* One raw 64-bit draw per slot; equal seeds give equal key vectors, which
+     is the whole determinism story for sketch mode. *)
+  { keys = Array.init hashes (fun _ -> Prng.int64 rng) }
+
+(* SplitMix64 finalizer — a strong 64-bit mixer, bijective, so distinct
+   shingles never collide within a slot. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Sentinel for the empty shingle set: no shingle can hash to it after
+   mixing with overwhelming probability, and two empty payloads agree on
+   every slot (Jaccard 1 by convention, matching Shingle.jaccard). *)
+let empty_slot = Int64.max_int
+
+let signature t shingles =
+  let k = Array.length t.keys in
+  let sig_ = Array.make k empty_slot in
+  if Array.length shingles > 0 then
+    for slot = 0 to k - 1 do
+      let key = t.keys.(slot) in
+      let best = ref Int64.max_int in
+      Array.iter
+        (fun sh ->
+          let h = mix64 (Int64.logxor (Int64.of_int sh) key) in
+          if Int64.unsigned_compare h !best < 0 then best := h)
+        shingles;
+      sig_.(slot) <- !best
+    done;
+  sig_
+
+let estimate a b =
+  let k = Array.length a in
+  if k <> Array.length b then invalid_arg "Minhash.estimate: signature widths differ";
+  if k = 0 then 0.
+  else begin
+    let agree = ref 0 in
+    for i = 0 to k - 1 do
+      if Int64.equal a.(i) b.(i) then incr agree
+    done;
+    float_of_int !agree /. float_of_int k
+  end

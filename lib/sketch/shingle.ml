@@ -1,0 +1,60 @@
+(* Byte n-gram shingling.  A payload becomes the set of hashes of its
+   overlapping n-byte windows; Jaccard similarity over those sets is the
+   resemblance measure minhash estimates.  Hashes are FNV-1a 64-bit folded
+   into OCaml's 63-bit positive int range — a collision only merges two
+   shingles, which perturbs the estimated similarity by O(1/|set|). *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s ~off ~len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  !h
+
+let to_positive_int h = Int64.to_int (Int64.logand h 0x3fffffffffffffffL)
+
+let set ?(n = 4) s =
+  if n < 1 then invalid_arg "Shingle.set: n must be >= 1";
+  let len = String.length s in
+  if len = 0 then [||]
+  else if len <= n then [| to_positive_int (fnv1a64 s ~off:0 ~len) |]
+  else begin
+    let windows = len - n + 1 in
+    let seen = Hashtbl.create (min windows 1024) in
+    for i = 0 to windows - 1 do
+      let h = to_positive_int (fnv1a64 s ~off:i ~len:n) in
+      if not (Hashtbl.mem seen h) then Hashtbl.add seen h ()
+    done;
+    let out = Array.make (Hashtbl.length seen) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun h () ->
+        out.(!i) <- h;
+        incr i)
+      seen;
+    Array.sort compare out;
+    out
+  end
+
+(* Exact Jaccard over two sorted shingle sets, by merge. *)
+let jaccard a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 && lb = 0 then 1.
+  else begin
+    let i = ref 0 and j = ref 0 and inter = ref 0 in
+    while !i < la && !j < lb do
+      let c = compare a.(!i) b.(!j) in
+      if c = 0 then begin
+        incr inter;
+        incr i;
+        incr j
+      end
+      else if c < 0 then incr i
+      else incr j
+    done;
+    let union = la + lb - !inter in
+    float_of_int !inter /. float_of_int union
+  end

@@ -1,0 +1,16 @@
+(** Byte n-gram shingling — the set representation under the minhash/LSH
+    prefilter.  Two packet payloads are near-duplicates when the Jaccard
+    similarity of their shingle sets is high; that is exactly the quantity
+    {!Minhash} estimates and {!Lsh} buckets on. *)
+
+val set : ?n:int -> string -> int array
+(** [set ~n s] is the sorted, deduplicated array of hashed [n]-byte
+    windows of [s] (default [n = 4]).  A string shorter than [n] hashes as
+    a single shingle; the empty string has the empty set.
+    @raise Invalid_argument when [n < 1]. *)
+
+val jaccard : int array -> int array -> float
+(** Exact Jaccard similarity [|A ∩ B| / |A ∪ B|] of two sorted shingle
+    sets; 1 when both are empty.  Used by tests as the oracle for the
+    minhash estimate and by callers needing an exact resemblance on a
+    candidate pair. *)

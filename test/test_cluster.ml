@@ -335,6 +335,64 @@ let test_linkage_names () =
   Alcotest.(check bool) "upgma alias" true
     (Agglomerative.linkage_of_name "upgma" = Some Agglomerative.Group_average)
 
+(* --- Cluster (unified entry point) --- *)
+
+let prop_run_matches_agglomerative =
+  QCheck.Test.make ~count:40 ~name:"Cluster.run dispatches to Agglomerative verbatim"
+    QCheck.(pair (int_range 1 24) (int_range 0 1000))
+    (fun (n, seed) ->
+      let m = random_matrix (Leakdetect_util.Prng.create seed) n in
+      match (Cluster.run (Cluster.Agglomerative Agglomerative.Single) m,
+             Agglomerative.cluster ~linkage:Agglomerative.Single m) with
+      | Cluster.Hierarchy a, Some b -> a = b
+      | _ -> false)
+
+let prop_run_flat_clusters_partition =
+  QCheck.Test.make ~count:40 ~name:"Cluster.flat_clusters partitions every algorithm"
+    QCheck.(pair (int_range 1 20) (int_range 0 1000))
+    (fun (n, seed) ->
+      let m = random_matrix (Leakdetect_util.Prng.create seed) n in
+      let covers algorithm threshold =
+        let flat = Cluster.flat_clusters ~threshold (Cluster.run algorithm m) in
+        List.sort compare (List.concat flat) = List.init n Fun.id
+      in
+      covers (Cluster.Agglomerative Agglomerative.Group_average) 0.4
+      && covers (Cluster.Nn_chain Agglomerative.Complete) infinity
+      && covers (Cluster.Kmedoids { k = 1 + (seed mod 4); seed }) infinity
+      && covers (Cluster.Dbscan { eps = 0.3; min_points = 2 }) infinity)
+
+let test_run_kmedoids_by_value () =
+  let m = random_matrix (Leakdetect_util.Prng.create 5) 12 in
+  let a = Cluster.run (Cluster.Kmedoids { k = 3; seed = 11 }) m in
+  let b = Cluster.run (Cluster.Kmedoids { k = 3; seed = 11 }) m in
+  Alcotest.(check bool) "same seed, same partition" true (a = b);
+  match a with
+  | Cluster.Partition { clusters; noise } ->
+    Alcotest.(check int) "no noise from kmedoids" 0 (List.length noise);
+    Alcotest.(check int) "three clusters" 3 (List.length clusters)
+  | _ -> Alcotest.fail "expected a partition"
+
+let test_run_empty_and_names () =
+  Alcotest.(check bool) "empty matrix" true
+    (Cluster.run Cluster.default (Dist_matrix.create 0) = Cluster.Empty);
+  Alcotest.(check string) "default name" "agglomerative-group-average"
+    (Cluster.name Cluster.default);
+  Alcotest.(check bool) "hierarchical split" true
+    (Cluster.is_hierarchical (Cluster.Nn_chain Agglomerative.Single)
+    && not (Cluster.is_hierarchical (Cluster.Dbscan { eps = 1.; min_points = 2 })))
+
+let test_run_dbscan_noise_singletons () =
+  (* Two tight pairs plus one far outlier: flat_clusters must keep the
+     outlier as a singleton, not drop it. *)
+  let coords = [| 0.0; 0.05; 1.0; 1.05; 5.0 |] in
+  let m = Dist_matrix.build 5 (fun i j -> Float.abs (coords.(i) -. coords.(j))) in
+  let flat =
+    Cluster.flat_clusters (Cluster.run (Cluster.Dbscan { eps = 0.2; min_points = 2 }) m)
+  in
+  Alcotest.(check (list (list int))) "noise appended as singleton"
+    [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ]
+    (List.sort compare flat)
+
 let suite =
   [
     ( "cluster.matrix",
@@ -385,6 +443,14 @@ let suite =
         Alcotest.test_case "all noise" `Quick test_dbscan_all_noise;
         Alcotest.test_case "single cluster" `Quick test_dbscan_single_cluster;
         qtest prop_dbscan_partition;
+      ] );
+    ( "cluster.run",
+      [
+        Alcotest.test_case "kmedoids by value" `Quick test_run_kmedoids_by_value;
+        Alcotest.test_case "empty + names" `Quick test_run_empty_and_names;
+        Alcotest.test_case "dbscan noise singletons" `Quick test_run_dbscan_noise_singletons;
+        qtest prop_run_matches_agglomerative;
+        qtest prop_run_flat_clusters_partition;
       ] );
     ( "cluster.cophenetic",
       [

@@ -335,6 +335,78 @@ let test_siggen_rejects_degenerate () =
     (List.concat_map (fun s -> s.Signature.tokens) r.Siggen.signatures);
   Alcotest.(check int) "rejection counted" 1 r.Siggen.rejected
 
+(* --- Siggen clustering backends --- *)
+
+module Clustering = Leakdetect_core.Clustering
+module Cluster = Leakdetect_cluster.Cluster
+module Sketch = Leakdetect_sketch.Sketch
+
+let sketch_config = Pipeline.Config.(default |> with_clustering (Clustering.Sketch Sketch.default))
+
+let sig_essence (r : Siggen.result) =
+  List.map (fun s -> (s.Signature.id, s.Signature.tokens)) r.Siggen.signatures
+
+let test_siggen_sketch_single_bucket_identical () =
+  (* Identical payloads always share every LSH band, so the sketch backend
+     degenerates to one bucket and must reproduce the exact backend byte
+     for byte. *)
+  let sample = Array.make 8 (group_a 0) in
+  let dist () = Distance.create () in
+  let exact = Siggen.generate (dist ()) sample in
+  let sketch = Siggen.generate ~config:sketch_config (dist ()) sample in
+  Alcotest.(check bool) "same signatures" true (sig_essence exact = sig_essence sketch);
+  Alcotest.(check bool) "same clusters" true (exact.Siggen.clusters = sketch.Siggen.clusters);
+  Alcotest.(check bool) "same dendrogram" true
+    (exact.Siggen.dendrogram = sketch.Siggen.dendrogram);
+  match sketch.Siggen.stats with
+  | Some s ->
+    Alcotest.(check string) "backend recorded" "sketch" s.Clustering.backend;
+    Alcotest.(check int) "one bucket" 1 s.Clustering.buckets
+  | None -> Alcotest.fail "stats expected"
+
+let test_siggen_sketch_two_groups_parity () =
+  let sample = Array.init 12 (fun i -> if i < 6 then group_a i else group_b i) in
+  let dist () = Distance.create () in
+  let exact = Siggen.generate (dist ()) sample in
+  let sketch = Siggen.generate ~config:sketch_config (dist ()) sample in
+  (* The two near-duplicate families land in separate buckets, so the
+     sketch run skips every cross-family NCD pair yet recovers the same
+     signature set: recall parity with a fraction of the exact work. *)
+  Alcotest.(check bool) "same signatures as exact" true
+    (sig_essence exact = sig_essence sketch);
+  match sketch.Siggen.stats with
+  | Some s ->
+    Alcotest.(check int) "two buckets" 2 s.Clustering.buckets;
+    Alcotest.(check int) "total pairs is C(12,2)" 66 s.Clustering.total_pairs;
+    Alcotest.(check int) "only within-bucket pairs computed" 30 s.Clustering.exact_pairs
+  | None -> Alcotest.fail "stats expected"
+
+let test_siggen_sketch_jobs_equivalence () =
+  let sample = Array.init 16 (fun i -> if i mod 2 = 0 then group_a i else group_b i) in
+  let sequential = Siggen.generate ~config:sketch_config (Distance.create ()) sample in
+  let parallel =
+    Leakdetect_parallel.Pool.with_pool 4 (fun pool ->
+        Siggen.generate
+          ~config:(Pipeline.Config.with_pool pool sketch_config)
+          (Distance.create ()) sample)
+  in
+  Alcotest.(check bool) "signatures identical at jobs=4" true
+    (sig_essence sequential = sig_essence parallel);
+  Alcotest.(check bool) "clusters identical at jobs=4" true
+    (sequential.Siggen.clusters = parallel.Siggen.clusters);
+  Alcotest.(check bool) "dendrogram identical at jobs=4" true
+    (sequential.Siggen.dendrogram = parallel.Siggen.dendrogram)
+
+let test_siggen_partitional_algorithm () =
+  let sample = Array.init 10 (fun i -> if i < 5 then group_a i else group_b i) in
+  let config =
+    Pipeline.Config.(default |> with_algorithm (Cluster.Kmedoids { k = 2; seed = 3 }))
+  in
+  let r = Siggen.generate ~config (Distance.create ()) sample in
+  Alcotest.(check bool) "no dendrogram for a partition" true (r.Siggen.dendrogram = None);
+  Alcotest.(check int) "k clusters" 2 (List.length r.Siggen.clusters);
+  Alcotest.(check bool) "signatures produced" true (r.Siggen.signatures <> [])
+
 let test_detector_basics () =
   let s1 = Signature.make ~id:0 ~mode:Signature.Conjunction ~cluster_size:1 [ "imei=355" ] in
   let s2 = Signature.make ~id:1 ~mode:Signature.Conjunction ~cluster_size:1 [ "aap.do" ] in
@@ -695,6 +767,13 @@ let suite =
         Alcotest.test_case "cut by count" `Quick test_siggen_cut_count;
         Alcotest.test_case "every merge" `Quick test_siggen_every_merge;
         Alcotest.test_case "rejects degenerate" `Quick test_siggen_rejects_degenerate;
+        Alcotest.test_case "sketch single bucket identical" `Quick
+          test_siggen_sketch_single_bucket_identical;
+        Alcotest.test_case "sketch two-group parity" `Quick
+          test_siggen_sketch_two_groups_parity;
+        Alcotest.test_case "sketch jobs equivalence" `Quick
+          test_siggen_sketch_jobs_equivalence;
+        Alcotest.test_case "partitional algorithm" `Quick test_siggen_partitional_algorithm;
       ] );
     ( "core.detector",
       [
