@@ -14,8 +14,10 @@
 
 module Json = Leakdetect_util.Json
 module Signature = Leakdetect_core.Signature
+module Signature_io = Leakdetect_core.Signature_io
 module Authority = Leakdetect_distrib.Authority
 module Delta_client = Leakdetect_distrib.Delta_client
+module Relay = Leakdetect_distrib.Relay
 module Topology = Leakdetect_distrib.Topology
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
@@ -172,6 +174,53 @@ let bench_sync ~versions ~rounds lag =
       ( "bytes_saved_ratio",
         Json.Float (float_of_int f_bytes /. float_of_int (max 1 d_bytes)) ) ]
 
+(* Ranged repair vs resnapshot: fork a synced relay mirror inside its
+   newest digest interval and let anti-entropy heal it.  The repair
+   should pay for one digest plus a one-interval suffix, not the whole
+   canonical set — the gap that justifies the digest endpoint.  Exits
+   non-zero if the repair is not strictly cheaper than the rebuild it
+   replaces. *)
+let bench_repair ~versions =
+  let auth = Authority.create () in
+  Authority.publish auth ~tenant:"bench" (set_at versions) |> ignore;
+  let transport = Authority.wire_transport auth in
+  let relay = Relay.create ~seed:7 ~id:"bench-relay" ~tenants:[ "bench" ] () in
+  Relay.sync_tenant relay ~tenant:"bench" ~transport |> ignore;
+  let snapshot_cost =
+    (* What a resnapshot of this tenant records: the canonical body. *)
+    String.length
+      (String.concat "\n"
+         (List.map Signature_io.to_line
+            (Authority.signatures auth ~tenant:"bench")))
+  in
+  Relay.inject_fork relay ~tenant:"bench";
+  let (), s =
+    time (fun () -> Relay.sync_tenant relay ~tenant:"bench" ~transport |> ignore)
+  in
+  let c = Relay.counters relay in
+  let healed = c.Relay.repairs = 1 && c.Relay.resnapshots = 0 in
+  Printf.printf
+    "fork at head of %4d versions: repair %6d B %6.2f ms vs resnapshot %8d B (%4.1fx cheaper)%s\n%!"
+    versions c.Relay.repair_bytes (1000. *. s) snapshot_cost
+    (float_of_int snapshot_cost /. float_of_int (max 1 c.Relay.repair_bytes))
+    (if healed then "" else "  [FAILED: resnapshot fallback]");
+  if (not healed) || c.Relay.repair_bytes >= snapshot_cost then begin
+    Printf.eprintf
+      "bench_repair: ranged repair did not beat resnapshot (%d repairs, %d resnapshots, %d B vs %d B)\n"
+      c.Relay.repairs c.Relay.resnapshots c.Relay.repair_bytes snapshot_cost;
+    exit 1
+  end;
+  Json.Obj
+    [ ("versions", Json.Int versions);
+      ("repairs", Json.Int c.Relay.repairs);
+      ("repair_bytes", Json.Int c.Relay.repair_bytes);
+      ("resnapshot_bytes", Json.Int snapshot_cost);
+      ("repair_s", Json.Float s);
+      ( "bytes_saved_ratio",
+        Json.Float
+          (float_of_int snapshot_cost
+          /. float_of_int (max 1 c.Relay.repair_bytes)) ) ]
+
 (* Relay offload: run the multi-node topology soak and report what share
    of client sync traffic the relay tier absorbed — the number the
    horizontal tier exists to move. *)
@@ -212,6 +261,12 @@ let () =
   Printf.printf "-- sync cost vs lag (head at %d versions, %d clients each) --\n%!"
     versions rounds;
   let sync_rows = List.map (bench_sync ~versions ~rounds) lags in
+  Printf.printf "-- ranged repair vs resnapshot (forked relay mirror) --\n%!";
+  let repair_rows =
+    List.map
+      (fun v -> bench_repair ~versions:v)
+      (if quick then [ 200 ] else [ 200; 1_000 ])
+  in
   Printf.printf "-- relay offload (topology soak) --\n%!";
   let offload_row =
     if quick then bench_offload ~clients:60 ~ticks:800
@@ -223,6 +278,7 @@ let () =
         ("quick", Json.Bool quick);
         ("publish", Json.List publish_rows);
         ("sync_vs_lag", Json.List sync_rows);
+        ("repair_vs_resnapshot", Json.List repair_rows);
         ("relay_offload", offload_row) ]
   in
   let oc = open_out "BENCH_distrib.json" in

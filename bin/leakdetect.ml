@@ -1410,7 +1410,8 @@ let soak_cmd =
       server_crash_rate client_restart_rate drain_rounds min_delta_ratio
       topology origins standby_origins relays byzantine_relays
       byzantine_corrupt relay_sync_period partitions partition_ticks
-      relay_crashes epoch_flips min_offload state_dir json_out metrics_out =
+      relay_crashes epoch_flips gossip_period fork_injections origin_weight
+      min_offload state_dir json_out metrics_out =
     let config =
       {
         Soak.default_config with
@@ -1486,6 +1487,9 @@ let soak_cmd =
           client_restart_rate;
           min_offload;
           drain_rounds;
+          gossip_period;
+          fork_injections;
+          origin_weight;
           seed;
         }
       in
@@ -1613,6 +1617,19 @@ let soak_cmd =
   let epoch_flips =
     flag_int "epoch-flips" 1 "Mid-soak shard-map advances migrating tenants (topology)."
   in
+  let gossip_period =
+    flag_int "gossip-period" 8
+      "Ticks between relay gossip rounds, 0 to disable (topology)."
+  in
+  let fork_injections =
+    flag_int "fork-injections" 2
+      "Adversarial relay-mirror forks injected mid-soak (topology)."
+  in
+  let origin_weight =
+    flag_int "origin-weight" 1
+      "Shard-map capacity weight of origin 0; 1 keeps the map unweighted \
+       (topology)."
+  in
   let min_offload =
     flag_rate "min-offload" 0.8
       "Exit non-zero unless relays absorb at least this share of client sync \
@@ -1653,6 +1670,7 @@ let soak_cmd =
           $ min_delta_ratio $ topology $ origins $ standby_origins $ relays
           $ byzantine_relays $ byzantine_corrupt $ relay_sync_period
           $ partitions $ partition_ticks $ relay_crashes $ epoch_flips
+          $ gossip_period $ fork_injections $ origin_weight
           $ min_offload $ state_dir $ json_out $ metrics_out)
 
 let main_cmd =

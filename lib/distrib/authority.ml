@@ -840,6 +840,7 @@ let release_tenant t ~tenant =
 let signatures_endpoint = "/signatures"
 let candidates_endpoint = "/candidates"
 let metrics_endpoint = "/metrics"
+let digest_endpoint = "/digest"
 
 let respond t (response : Http.Response.t) =
   count t
@@ -952,6 +953,47 @@ let handle_signatures t (request : Http.Request.t) params =
                 ~body 200))
     | _ -> Http.Response.make 400
 
+(* Ranged anti-entropy digest: checkpoints of the canonical-set CRC at
+   interval steps plus the head, so a diverged mirror can localize the
+   fork to an interval and splice only the suffix past the newest
+   agreeing checkpoint (see {!Changelog.digest}). *)
+let handle_digest t (request : Http.Request.t) params =
+  if request.Http.Request.meth <> Http.Request.GET then
+    Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "GET") ]) 405
+  else
+    match List.assoc_opt "tenant" params with
+    | Some tenant when id_ok tenant -> (
+      let since =
+        match List.assoc_opt "since" params with
+        | Some v -> int_of_string_opt v
+        | None -> Some 0
+      in
+      let interval =
+        match List.assoc_opt "interval" params with
+        | Some v -> int_of_string_opt v
+        | None -> Some 8
+      in
+      match (since, interval) with
+      | Some since, Some interval when since >= 0 && interval >= 1 -> (
+        match shard_gate t ~tenant with
+        | Error misdirected -> misdirected
+        | Ok () ->
+          let ts = lookup t tenant in
+          count_sync_response t "digest";
+          let body =
+            Changelog.digest_to_body
+              (Changelog.digest ts.log ~since ~interval)
+          in
+          Http.Response.make
+            ~headers:
+              (Http.Headers.of_list
+                 (version_headers ts
+                 @ [ ("X-Signature-Mode", "digest");
+                     ("Content-Type", "text/tab-separated-values") ]))
+            ~body 200)
+      | _ -> Http.Response.make 400)
+    | _ -> Http.Response.make 400
+
 let handle_candidates t (request : Http.Request.t) params =
   if request.Http.Request.meth <> Http.Request.POST then
     Http.Response.make ~headers:(Http.Headers.of_list [ ("Allow", "POST") ]) 405
@@ -1020,6 +1062,7 @@ let handle t (request : Http.Request.t) =
         ~body:(Obs.to_prometheus t.obs) 200
   else if path = signatures_endpoint then handle_signatures t request params
   else if path = candidates_endpoint then handle_candidates t request params
+  else if path = digest_endpoint then handle_digest t request params
   else Http.Response.make 404
 
 let wire_transport t raw =

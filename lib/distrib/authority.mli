@@ -206,6 +206,8 @@ val candidates_endpoint : string
 val metrics_endpoint : string
 (** ["/metrics"] *)
 
+val digest_endpoint : string
+(** ["/digest"] *)
 
 val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
 (** [GET /signatures?tenant=T&since=V[&full=1]]:
@@ -221,6 +223,15 @@ val handle : t -> Leakdetect_http.Request.t -> Leakdetect_http.Response.t
     [POST /candidates?tenant=T&reporter=R] with signature lines as body:
     [200] with a tally body ([accepted/duplicate/promoted/capped] TAB
     counts), [400] on bad ids or a malformed line.
+
+    [GET /digest?tenant=T[&since=V][&interval=K]]: the ranged
+    anti-entropy digest — [version TAB crc-hex] checkpoint lines (see
+    {!Changelog.digest}; [since] defaults to 0, [interval] to 8), with
+    the usual version headers.  A diverged mirror compares the
+    checkpoints against its own history, takes the newest agreeing
+    version as the splice point, and repairs just that suffix.  Gated by
+    the shard map like the other tenant endpoints; [400] on a bad
+    [since] or [interval].
 
     [GET /metrics]: Prometheus exposition of the registry. *)
 

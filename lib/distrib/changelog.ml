@@ -149,6 +149,54 @@ let since t v =
     Some
       (List.filter (fun (e : entry) -> e.version > v) (List.rev t.rev_entries))
 
+(* Checkpoints ascend from the first retained version in [interval]
+   steps; the head is always the last checkpoint, so a digest is never
+   empty and a head-only probe is [digest ~since:max_int].  Only sums the
+   table still holds (>= horizon) are emitted — a divergence below the
+   horizon is not localizable and the caller falls back to a snapshot. *)
+let digest t ~since ~interval =
+  if interval < 1 then invalid_arg "Changelog.digest: interval < 1";
+  let lo = max since t.base_version in
+  let rec collect v acc =
+    if v >= t.version then acc
+    else
+      collect (v + interval)
+        (match Hashtbl.find_opt t.sums v with
+        | Some sum -> (v, sum) :: acc
+        | None -> acc)
+  in
+  let head =
+    match Hashtbl.find_opt t.sums t.version with
+    | Some sum -> [ (t.version, sum) ]
+    | None -> []
+  in
+  List.rev_append (collect lo []) head
+
+let digest_to_body d =
+  String.concat "\n"
+    (List.map (fun (v, sum) -> Printf.sprintf "%d\t%s" v (Crc32.to_hex sum)) d)
+
+let digest_of_body body =
+  let lines = if body = "" then [] else String.split_on_char '\n' body in
+  let rec loop prev acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match String.index_opt line '\t' with
+      | None -> Error (Printf.sprintf "bad digest line %S" line)
+      | Some i -> (
+        let version = String.sub line 0 i in
+        let sum = String.sub line (i + 1) (String.length line - i - 1) in
+        match
+          (int_of_string_opt version, int_of_string_opt ("0x" ^ sum))
+        with
+        | Some v, Some sum when v >= 0 && v > prev ->
+          loop v ((v, sum) :: acc) rest
+        | Some v, Some _ when v <= prev ->
+          Error (Printf.sprintf "digest versions not ascending at %d" v)
+        | _ -> Error (Printf.sprintf "bad digest line %S" line)))
+  in
+  loop (-1) [] lines
+
 let compact t ~keep =
   let all = List.rev t.rev_entries in
   let n = List.length all in

@@ -85,6 +85,24 @@ val since : t -> int -> entry list option
     below the horizon (compacted away) or beyond the head (a gap the
     caller must treat as a full-resync condition). *)
 
+val digest : t -> since:int -> interval:int -> (int * int) list
+(** Ranged anti-entropy digest: [(version, canonical-set CRC)] checkpoints
+    ascending from [max since horizon] in [interval] steps, with the head
+    always included last — so the result is never empty and
+    [digest ~since:max_int ~interval:1] is a head-only freshness probe.
+    A mirror that forked from this history compares its own
+    {!checksum_at} against the checkpoints, takes the newest agreeing
+    version as the splice point, and repairs just the suffix — the
+    rebuild-from-scratch resnapshot stays the fallback for divergence
+    below the horizon (no agreeing checkpoint survives compaction).
+    @raise Invalid_argument when [interval < 1]. *)
+
+val digest_to_body : (int * int) list -> string
+val digest_of_body : string -> ((int * int) list, string) result
+(** Wire codec for [GET /digest] bodies: one [version TAB crc-hex] line
+    per checkpoint.  [digest_of_body] rejects non-ascending versions and
+    malformed lines. *)
+
 val entries : t -> entry list
 (** All retained entries, oldest first. *)
 

@@ -270,12 +270,15 @@ let attribute t report =
   | _ -> ());
   report
 
-let sync t ~transport =
+let sync ?full_transport t ~transport =
+  let full_transport =
+    match full_transport with Some f -> f | None -> transport
+  in
   t.last_update <- None;
   t.verify_failed <- false;
   attribute t
     (Signature_client.sync t.inner ~fetch:(fun ~since ->
-         fetch t ~transport ~full_transport:transport ~since))
+         fetch t ~transport ~full_transport ~since))
 
 let sync_via t ~relays ~origin =
   if relays = [] then invalid_arg "Delta_client.sync_via: no relays";

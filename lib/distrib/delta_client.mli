@@ -85,13 +85,17 @@ type counters = {
 val counters : t -> counters
 
 val sync :
+  ?full_transport:(string -> (string, string) result) ->
   t ->
   transport:(string -> (string, string) result) ->
   Signature_client.sync_report
 (** One sync round through [transport] (printed request bytes in,
     printed response bytes out — wrap {!Authority.wire_transport} in a
     fault plan to exercise it).  Retry, backoff and health transitions
-    are the wrapped client's.  Recovery resyncs use the same transport. *)
+    are the wrapped client's.  Recovery resyncs use [full_transport]
+    when given, else the same transport — relay gossip pins it to the
+    origin so a [full=1] escalation never trusts a sibling mirror for
+    the authoritative snapshot. *)
 
 val sync_via :
   t ->

@@ -34,6 +34,9 @@ type config = {
   client_restart_rate : float;
   min_offload : float;
   drain_rounds : int;
+  gossip_period : int;
+  fork_injections : int;
+  origin_weight : int;
   seed : int;
 }
 
@@ -65,6 +68,9 @@ let default_config =
     client_restart_rate = 0.005;
     min_offload = 0.8;
     drain_rounds = 60;
+    gossip_period = 8;
+    fork_injections = 2;
+    origin_weight = 1;
     seed = 42;
   }
 
@@ -81,6 +87,12 @@ type invariants = {
   sub_k_promotions : int;
   recovery_mismatches : int;
   unconverged : int;
+  relay_divergences : int;
+      (* A relay whose serving guard passed while its mirror did not
+         match the committed checksum at its version. *)
+  staleness_lapses : int;
+      (* A partitioned relay left strictly behind a reachable honest
+         sibling right after its own gossip round. *)
 }
 
 type report = {
@@ -110,6 +122,13 @@ type report = {
   relay_resnapshots : int;
   relay_served : int;
   relay_unready : int;
+  relay_inconsistent : int;
+  gossip_rounds : int;
+  gossip_catchups : int;
+  repairs : int;
+  repair_bytes : int;
+  resnapshot_bytes : int;
+  forks_done : int;
   forwarded_reports : int;
   forward_failures : int;
   client_restarts : int;
@@ -131,6 +150,8 @@ let ok r =
   && r.invariants.sub_k_promotions = 0
   && r.invariants.recovery_mismatches = 0
   && r.invariants.unconverged = 0
+  && r.invariants.relay_divergences = 0
+  && r.invariants.staleness_lapses = 0
   && r.offload >= r.config.min_offload
 
 (* --- accumulators --- *)
@@ -180,7 +201,10 @@ let validate config =
   if config.publishes < 1 then bad "Topology: publishes < 1";
   if config.k < 1 then bad "Topology: k < 1";
   if config.partition_ticks < 1 then bad "Topology: partition_ticks < 1";
-  if config.drain_rounds < 1 then bad "Topology: drain_rounds < 1"
+  if config.drain_rounds < 1 then bad "Topology: drain_rounds < 1";
+  if config.gossip_period < 0 then bad "Topology: gossip_period < 0";
+  if config.fork_injections < 0 then bad "Topology: fork_injections < 0";
+  if config.origin_weight < 1 then bad "Topology: origin_weight < 1"
 
 let tenant_name i = Printf.sprintf "tenant%d" i
 let origin_name i = Printf.sprintf "origin%d" i
@@ -267,8 +291,27 @@ let run ?(obs = Obs.noop) ~dir config =
         invalid_arg (Printf.sprintf "Topology: cannot open %s: %s" name e))
     all_names;
   let origin name = fst (Hashtbl.find origin_tbl name) in
+  let relay_name i = Printf.sprintf "relay%d" i in
+  (* Capacity weights (origin0 optionally heavier) and a synthetic
+     proximity table — relay-to-origin and relay-to-relay distances that
+     bias gossip peer preference without ever affecting ownership. *)
+  let weights =
+    if config.origin_weight > 1 then [ (origin_name 0, config.origin_weight) ]
+    else []
+  in
+  let proximity =
+    List.concat_map
+      (fun i ->
+        let rid = relay_name i in
+        List.mapi (fun j o -> (rid, o, (i + j) mod 3)) all_names
+        @ List.filter_map
+            (fun j ->
+              if j = i then None else Some (rid, relay_name j, abs (i - j)))
+            (List.init config.relays Fun.id))
+      (List.init config.relays Fun.id)
+  in
   let map =
-    match Shard_map.create ~epoch:0 ~origins:base_names with
+    match Shard_map.create ~weights ~proximity ~epoch:0 ~origins:base_names () with
     | Ok m -> ref m
     | Error e -> invalid_arg ("Topology: " ^ e)
   in
@@ -301,7 +344,10 @@ let run ?(obs = Obs.noop) ~dir config =
   and lost_reports = ref 0
   and divergences = ref 0
   and regressions = ref 0
-  and recovery_mismatches = ref 0 in
+  and recovery_mismatches = ref 0
+  and relay_divergences = ref 0
+  and staleness_lapses = ref 0
+  and forks_done = ref 0 in
   let all_promotions = ref [] in
   (* Client fetch counters survive restarts via these accumulators. *)
   let acc_escalations = ref 0
@@ -317,8 +363,10 @@ let run ?(obs = Obs.noop) ~dir config =
   in
   (* Relay counters survive crashes the same way. *)
   let acc_relay = ref Relay.{
-    sync_rounds = 0; sync_failures = 0; resnapshots = 0; served_delta = 0;
-    served_snapshot = 0; served_not_modified = 0; served_unready = 0;
+    sync_rounds = 0; sync_failures = 0; resnapshots = 0; resnapshot_bytes = 0;
+    repairs = 0; repair_bytes = 0; gossip_rounds = 0; gossip_catchups = 0;
+    served_delta = 0; served_snapshot = 0; served_not_modified = 0;
+    served_unready = 0; served_inconsistent = 0; served_digest = 0;
     forwarded = 0; forward_failures = 0;
   } in
   let harvest_relay r =
@@ -327,10 +375,17 @@ let run ?(obs = Obs.noop) ~dir config =
       sync_rounds = a.sync_rounds + c.Relay.sync_rounds;
       sync_failures = a.sync_failures + c.Relay.sync_failures;
       resnapshots = a.resnapshots + c.Relay.resnapshots;
+      resnapshot_bytes = a.resnapshot_bytes + c.Relay.resnapshot_bytes;
+      repairs = a.repairs + c.Relay.repairs;
+      repair_bytes = a.repair_bytes + c.Relay.repair_bytes;
+      gossip_rounds = a.gossip_rounds + c.Relay.gossip_rounds;
+      gossip_catchups = a.gossip_catchups + c.Relay.gossip_catchups;
       served_delta = a.served_delta + c.Relay.served_delta;
       served_snapshot = a.served_snapshot + c.Relay.served_snapshot;
       served_not_modified = a.served_not_modified + c.Relay.served_not_modified;
       served_unready = a.served_unready + c.Relay.served_unready;
+      served_inconsistent = a.served_inconsistent + c.Relay.served_inconsistent;
+      served_digest = a.served_digest + c.Relay.served_digest;
       forwarded = a.forwarded + c.Relay.forwarded;
       forward_failures = a.forward_failures + c.Relay.forward_failures;
     }
@@ -566,15 +621,15 @@ let run ?(obs = Obs.noop) ~dir config =
         | _ -> Error "forward: unroutable tenant")
   in
   let fresh_relay i =
-    let r =
-      Relay.create ~obs
-        ~config:{ Relay.compact_keep = config.compact_keep }
-        ~seed:(seed_of ())
-        ~id:(Printf.sprintf "relay%d" i)
-        ~tenants ()
-    in
-    Relay.set_upstream r (relay_post_upstream i);
-    r
+    Relay.create ~obs
+      ~config:
+        {
+          Relay.compact_keep = config.compact_keep;
+          digest_interval = Relay.default_config.Relay.digest_interval;
+        }
+      ~seed:(seed_of ())
+      ~id:(relay_name i)
+      ~tenants ()
   in
   let relays = Array.init config.relays fresh_relay in
   let is_byzantine i = i < config.byzantine_relays in
@@ -587,6 +642,24 @@ let run ?(obs = Obs.noop) ~dir config =
       if is_byzantine i then Ok (Fault.corrupt_string byz_plan response)
       else Ok response
   in
+  (* Relay-to-relay gossip links are loss-free (the partition model cuts
+     relays off from origins, not from each other), but a byzantine
+     sibling corrupts what it serves — gossip has to survive that. *)
+  let peer_list i =
+    List.filter_map
+      (fun j ->
+        if j = i then None
+        else Some (relay_name j, fun raw -> relay_server j raw))
+      (List.init config.relays Fun.id)
+  in
+  let wire_relay i =
+    let r = relays.(i) in
+    Relay.set_upstream r (relay_post_upstream i);
+    Relay.set_peers r (peer_list i);
+    Relay.set_shard r !map;
+    Relay.set_clock r !current_tick
+  in
+  Array.iteri (fun i _ -> wire_relay i) relays;
   let relay_sync_all i =
     List.iter
       (fun tenant ->
@@ -606,6 +679,7 @@ let run ?(obs = Obs.noop) ~dir config =
     | Ok after ->
       map := after;
       install_map ();
+      Array.iteri (fun _ r -> Relay.set_shard r !map) relays;
       List.iter
         (fun (tenant, from_, to_) ->
           incr migrations;
@@ -682,6 +756,13 @@ let run ?(obs = Obs.noop) ~dir config =
   for c = 0 to config.relay_crashes - 1 do
     at (((c + 1) * config.ticks / (config.relay_crashes + 1)) + 3)
       (`RelayCrash (c mod config.relays))
+  done;
+  (* Forks are injected into honest relays (the byzantine slots already
+     corrupt their responses at the transport), offset so they land away
+     from the partition/crash edges. *)
+  for f = 0 to config.fork_injections - 1 do
+    at (((f + 1) * config.ticks / (config.fork_injections + 2)) + 11)
+      (`Fork ((config.byzantine_relays + f) mod config.relays))
   done;
 
   (* --- initial sets: every tenant exists on its owner before tick 0 --- *)
@@ -775,7 +856,15 @@ let run ?(obs = Obs.noop) ~dir config =
         | `RelayCrash i ->
           incr relay_crashes_done;
           harvest_relay relays.(i);
-          relays.(i) <- fresh_relay i
+          relays.(i) <- fresh_relay i;
+          wire_relay i
+        | `Fork i ->
+          incr forks_done;
+          List.iter
+            (fun tenant ->
+              if Relay.synced relays.(i) ~tenant then
+                Relay.inject_fork relays.(i) ~tenant)
+            tenants
         | `Report (tenant, reporter, sigs, attempts) -> (
           (* Reports enter through the relay tier and are forwarded. *)
           let rix = Prng.int server_rng config.relays in
@@ -797,8 +886,50 @@ let run ?(obs = Obs.noop) ~dir config =
             else incr lost_reports))
       events;
     if events <> [] then record_all ();
+    Array.iter (fun r -> Relay.set_clock r tick) relays;
     for i = 0 to config.relays - 1 do
       if (tick + i) mod config.relay_sync_period = 0 then relay_sync_all i
+    done;
+    (* Gossip: each relay exchanges head digests with its siblings once
+       per period.  A partitioned relay must come out of its round no
+       staler than the freshest reachable honest sibling — that bound is
+       the second new gated invariant. *)
+    if config.gossip_period > 0 then
+      for i = 0 to config.relays - 1 do
+        if (tick + i) mod config.gossip_period = 0 then begin
+          Relay.gossip relays.(i)
+            ~upstream:(fun ~tenant -> relay_upstream i tenant);
+          if partitioned i then
+            List.iter
+              (fun tenant ->
+                if Relay.synced relays.(i) ~tenant then begin
+                  let best = ref (Relay.version relays.(i) ~tenant) in
+                  for j = 0 to config.relays - 1 do
+                    if
+                      j <> i && (not (is_byzantine j))
+                      && Relay.consistent relays.(j) ~tenant
+                    then best := max !best (Relay.version relays.(j) ~tenant)
+                  done;
+                  if Relay.version relays.(i) ~tenant < !best then
+                    incr staleness_lapses
+                end)
+              tenants
+        end
+      done;
+    (* Serving audit: any relay whose guard vouches for its mirror must
+       match the committed checksum at the version it serves. *)
+    for i = 0 to config.relays - 1 do
+      List.iter
+        (fun tenant ->
+          if Relay.consistent relays.(i) ~tenant then begin
+            let v = Relay.version relays.(i) ~tenant in
+            match Hashtbl.find_opt (audit_of tenant) v with
+            | Some sum ->
+              if Relay.checksum relays.(i) ~tenant <> sum then
+                incr relay_divergences
+            | None -> ()
+          end)
+        tenants
     done;
     let acc = if tick < phase_split then ramp else steady in
     Array.iter
@@ -815,6 +946,7 @@ let run ?(obs = Obs.noop) ~dir config =
 
   (* --- drain --- *)
   current_tick := config.ticks;  (* all partitions healed *)
+  Array.iter (fun r -> Relay.set_clock r config.ticks) relays;
   let final_version tenant =
     Authority.version !(origin (owner_of tenant)) ~tenant
   in
@@ -907,6 +1039,13 @@ let run ?(obs = Obs.noop) ~dir config =
         rc.Relay.served_delta + rc.Relay.served_snapshot
         + rc.Relay.served_not_modified;
       relay_unready = rc.Relay.served_unready;
+      relay_inconsistent = rc.Relay.served_inconsistent;
+      gossip_rounds = rc.Relay.gossip_rounds;
+      gossip_catchups = rc.Relay.gossip_catchups;
+      repairs = rc.Relay.repairs;
+      repair_bytes = rc.Relay.repair_bytes;
+      resnapshot_bytes = rc.Relay.resnapshot_bytes;
+      forks_done = !forks_done;
       forwarded_reports = rc.Relay.forwarded;
       forward_failures = rc.Relay.forward_failures;
       client_restarts = !client_restarts;
@@ -926,6 +1065,8 @@ let run ?(obs = Obs.noop) ~dir config =
           sub_k_promotions;
           recovery_mismatches = !recovery_mismatches;
           unconverged;
+          relay_divergences = !relay_divergences;
+          staleness_lapses = !staleness_lapses;
         };
     }
   in
@@ -997,6 +1138,9 @@ let report_to_json r =
             ("client_restart_rate", Json.Float r.config.client_restart_rate);
             ("min_offload", Json.Float r.config.min_offload);
             ("drain_rounds", Json.Int r.config.drain_rounds);
+            ("gossip_period", Json.Int r.config.gossip_period);
+            ("fork_injections", Json.Int r.config.fork_injections);
+            ("origin_weight", Json.Int r.config.origin_weight);
             ("seed", Json.Int r.config.seed);
           ] );
       ("ramp", phase_to_json r.ramp);
@@ -1024,6 +1168,13 @@ let report_to_json r =
       ("relay_resnapshots", Json.Int r.relay_resnapshots);
       ("relay_served", Json.Int r.relay_served);
       ("relay_unready", Json.Int r.relay_unready);
+      ("relay_inconsistent", Json.Int r.relay_inconsistent);
+      ("gossip_rounds", Json.Int r.gossip_rounds);
+      ("gossip_catchups", Json.Int r.gossip_catchups);
+      ("repairs", Json.Int r.repairs);
+      ("repair_bytes", Json.Int r.repair_bytes);
+      ("resnapshot_bytes", Json.Int r.resnapshot_bytes);
+      ("forks_done", Json.Int r.forks_done);
       ("forwarded_reports", Json.Int r.forwarded_reports);
       ("forward_failures", Json.Int r.forward_failures);
       ("client_restarts", Json.Int r.client_restarts);
@@ -1050,6 +1201,8 @@ let report_to_json r =
             ("sub_k_promotions", Json.Int r.invariants.sub_k_promotions);
             ("recovery_mismatches", Json.Int r.invariants.recovery_mismatches);
             ("unconverged", Json.Int r.invariants.unconverged);
+            ("relay_divergences", Json.Int r.invariants.relay_divergences);
+            ("staleness_lapses", Json.Int r.invariants.staleness_lapses);
           ] );
       ("ok", Json.Bool (ok r));
     ]
@@ -1077,9 +1230,13 @@ let summary r =
         "  origins: %d crashes (%d torn tails), %d recoveries, %d compactions"
         r.origin_crashes r.torn_tails r.recoveries r.compactions;
       Printf.sprintf
-        "  relays: %d sync rounds (%d failed), %d resnapshots, %d served, %d unready 503s"
+        "  relays: %d sync rounds (%d failed), %d resnapshots (%d B), %d served, %d unready / %d inconsistent 503s"
         r.relay_sync_rounds r.relay_sync_failures r.relay_resnapshots
-        r.relay_served r.relay_unready;
+        r.resnapshot_bytes r.relay_served r.relay_unready r.relay_inconsistent;
+      Printf.sprintf
+        "  gossip: %d rounds, %d sibling catch-ups; %d forks injected, %d ranged repairs (%d B vs %d B resnapshot)"
+        r.gossip_rounds r.gossip_catchups r.forks_done r.repairs r.repair_bytes
+        r.resnapshot_bytes;
       Printf.sprintf
         "  crowd: %d promotions (%d on recovery), %d accepted / %d duplicate / %d capped / %d lost (%d forwarded, %d forward failures)"
         r.promotions r.promoted_on_recovery r.accepted_reports
@@ -1093,10 +1250,11 @@ let summary r =
         (r.offload *. 100.)
         (r.relay_requests + r.origin_requests);
       Printf.sprintf
-        "  invariants: %d divergences, %d regressions, %d sub-k promotions, %d recovery mismatches, %d unconverged"
+        "  invariants: %d divergences, %d regressions, %d sub-k promotions, %d recovery mismatches, %d unconverged, %d relay divergences, %d staleness lapses"
         r.invariants.divergences r.invariants.regressions
         r.invariants.sub_k_promotions r.invariants.recovery_mismatches
-        r.invariants.unconverged;
+        r.invariants.unconverged r.invariants.relay_divergences
+        r.invariants.staleness_lapses;
       (if ok r then "  OK"
        else if
          r.invariants.divergences = 0
@@ -1104,6 +1262,8 @@ let summary r =
          && r.invariants.sub_k_promotions = 0
          && r.invariants.recovery_mismatches = 0
          && r.invariants.unconverged = 0
+         && r.invariants.relay_divergences = 0
+         && r.invariants.staleness_lapses = 0
        then "  OFFLOAD BELOW FLOOR"
        else "  INVARIANT VIOLATION");
     ]

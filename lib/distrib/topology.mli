@@ -67,6 +67,16 @@ type config = {
   client_restart_rate : float;
   min_offload : float;  (** Required relay share of client sync requests. *)
   drain_rounds : int;
+  gossip_period : int;
+      (** Relay gossip cadence in ticks (staggered per relay); 0 disables
+          gossip entirely. *)
+  fork_injections : int;
+      (** Adversarial mirror forks injected mid-soak ({!Relay.inject_fork}
+          on a chosen relay, every synced tenant) — ranged repair must
+          heal each without a resnapshot. *)
+  origin_weight : int;
+      (** Capacity weight of origin 0 in the shard map (>= 1); 1 keeps
+          the map unweighted and bit-exact with pre-weight journals. *)
   seed : int;
 }
 
@@ -88,6 +98,16 @@ type invariants = {
   sub_k_promotions : int;
   recovery_mismatches : int;
   unconverged : int;
+  relay_divergences : int;
+      (** Ticks on which a relay served (was willing to serve) a tenant
+          set whose canonical checksum differed from the committed
+          checksum at its claimed version — the serving-guard invariant:
+          a diverged mirror must refuse, not serve. *)
+  staleness_lapses : int;
+      (** Gossip rounds after which a partitioned relay remained behind
+          the freshest reachable honest sibling — the bounded-staleness
+          invariant: while siblings are reachable, a partition bounds
+          staleness by the gossip period. *)
 }
 
 type report = {
@@ -117,6 +137,17 @@ type report = {
   relay_resnapshots : int;
   relay_served : int;
   relay_unready : int;  (** 503s served before a first verified sync. *)
+  relay_inconsistent : int;
+      (** 503s served while a relay's mirror diverged from its verified
+          state (the serving guard refusing, as it must). *)
+  gossip_rounds : int;
+  gossip_catchups : int;
+      (** Tenant catch-ups pulled from a sibling relay during gossip. *)
+  repairs : int;  (** Ranged anti-entropy repairs (splice, no rebuild). *)
+  repair_bytes : int;  (** Wire bytes paid by those repairs. *)
+  resnapshot_bytes : int;
+      (** Canonical snapshot bytes paid by full mirror rebuilds. *)
+  forks_done : int;  (** Adversarial forks actually injected. *)
   forwarded_reports : int;
   forward_failures : int;
   client_restarts : int;

@@ -661,6 +661,56 @@ let test_changelog_compact_keep_zero () =
     (Some (Changelog.checksum_set [ s1; s2 ]))
     (Changelog.checksum_at log 2)
 
+let test_changelog_digest () =
+  let log = Changelog.create () in
+  for i = 1 to 10 do
+    ignore (Changelog.append log (Changelog.Add (sig_ i [ Printf.sprintf "t%d" i ])))
+  done;
+  let d = Changelog.digest log ~since:0 ~interval:4 in
+  (* Structure: ascending checkpoints, head always last, every line one
+     the log itself vouches for. *)
+  let versions = List.map fst d in
+  Alcotest.(check bool) "ascending" true
+    (List.sort_uniq compare versions = versions);
+  (match List.rev d with
+  | (v, sum) :: _ ->
+    Alcotest.(check int) "head checkpoint" 10 v;
+    Alcotest.(check int) "head sum" (Changelog.current_checksum log) sum
+  | [] -> Alcotest.fail "digest must carry the head");
+  List.iter
+    (fun (v, sum) ->
+      Alcotest.(check (option int)) "checkpoint agrees with checksum_at"
+        (Some sum) (Changelog.checksum_at log v))
+    d;
+  (* Head-only freshness probe. *)
+  Alcotest.(check (list (pair int int))) "head-only probe"
+    [ (10, Changelog.current_checksum log) ]
+    (Changelog.digest log ~since:max_int ~interval:1);
+  (* Codec roundtrip, and the empty digest. *)
+  (match Changelog.digest_of_body (Changelog.digest_to_body d) with
+  | Ok d' -> Alcotest.(check (list (pair int int))) "codec roundtrip" d d'
+  | Error e -> Alcotest.failf "digest roundtrip: %s" e);
+  (match Changelog.digest_of_body "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty body is the empty digest");
+  List.iter
+    (fun body ->
+      match Changelog.digest_of_body body with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "must reject %S" body)
+    [ "garbage"; "5\tnothex"; "5\t00ff00ff\n3\t00ff00ff" ];
+  (try
+     ignore (Changelog.digest log ~since:0 ~interval:0);
+     Alcotest.fail "interval 0 must raise"
+   with Invalid_argument _ -> ());
+  (* Compaction moves the horizon: no checkpoint below it survives, so a
+     diverged-below-horizon mirror correctly finds nothing to agree with
+     and falls back to a rebuild. *)
+  Changelog.compact log ~keep:4;
+  let d = Changelog.digest log ~since:0 ~interval:1 in
+  Alcotest.(check bool) "no checkpoint below the horizon" true
+    (List.for_all (fun (v, _) -> v >= Changelog.horizon log) d)
+
 let prop_compact_since_boundary =
   let gen =
     QCheck.make
@@ -691,21 +741,21 @@ let prop_compact_since_boundary =
 (* --- shard map --- *)
 
 let mk_map ~epoch origins =
-  match Shard_map.create ~epoch ~origins with
+  match Shard_map.create ~epoch ~origins () with
   | Ok m -> m
   | Error e -> Alcotest.failf "shard map: %s" e
 
 let test_shard_map_basics () =
-  (match Shard_map.create ~epoch:(-1) ~origins:[ "a" ] with
+  (match Shard_map.create ~epoch:(-1) ~origins:[ "a" ] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "negative epoch must be rejected");
-  (match Shard_map.create ~epoch:0 ~origins:[] with
+  (match Shard_map.create ~epoch:0 ~origins:[] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty origin set must be rejected");
-  (match Shard_map.create ~epoch:0 ~origins:[ "a"; "a" ] with
+  (match Shard_map.create ~epoch:0 ~origins:[ "a"; "a" ] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "duplicate origins must be rejected");
-  (match Shard_map.create ~epoch:0 ~origins:[ "bad id" ] with
+  (match Shard_map.create ~epoch:0 ~origins:[ "bad id" ] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad origin id must be rejected");
   let m = mk_map ~epoch:3 [ "b"; "a" ] in
@@ -752,6 +802,85 @@ let test_shard_map_codec () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "must reject %S" line)
     [ ""; "nope"; "-1\ta"; "3\t"; "3\ta,a"; "x\ta,b" ]
+
+let test_shard_map_edges () =
+  let tenants = List.init 60 (fun i -> Printf.sprintf "t%d" i) in
+  let mk ?(weights = []) ?(proximity = []) ~epoch origins =
+    match Shard_map.create ~weights ~proximity ~epoch ~origins () with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "shard map: %s" e
+  in
+  (* A single-origin map routes everything to it. *)
+  let solo = mk ~epoch:0 [ "only" ] in
+  List.iter
+    (fun t ->
+      Alcotest.(check string) "solo origin owns all" "only"
+        (Shard_map.owner solo ~tenant:t))
+    tenants;
+  (* An identical-origin-set epoch flip moves zero tenants even when the
+     map carries weights and proximity. *)
+  let m =
+    mk ~weights:[ ("a", 3) ]
+      ~proximity:[ ("r0", "a", 1); ("r0", "r1", 2) ]
+      ~epoch:0 [ "a"; "b" ]
+  in
+  (match Shard_map.advance m ~origins:[ "a"; "b" ] with
+  | Error e -> Alcotest.failf "advance: %s" e
+  | Ok m' ->
+    Alcotest.(check int) "epoch flipped" 1 (Shard_map.epoch m');
+    Alcotest.(check int) "identical set moves nothing" 0
+      (List.length (Shard_map.moved ~before:m ~after:m' ~tenants));
+    Alcotest.(check int) "weight carried" 3 (Shard_map.weight m' ~origin:"a");
+    Alcotest.(check (option int)) "relay-to-relay distance carried" (Some 2)
+      (Shard_map.distance m' ~node:"r0" ~origin:"r1"));
+  (* All-weight-1 scoring reduces to unweighted HRW exactly. *)
+  let unweighted = mk ~epoch:0 [ "a"; "b"; "c" ] in
+  let w1 =
+    mk ~weights:[ ("a", 1); ("b", 1); ("c", 1) ] ~epoch:0 [ "a"; "b"; "c" ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check string) "weight 1 = unweighted"
+        (Shard_map.owner unweighted ~tenant:t)
+        (Shard_map.owner w1 ~tenant:t))
+    tenants;
+  (* Raising one origin's weight only pulls tenants toward it — nobody
+     moves between the other origins — and pulls a larger share. *)
+  let heavy = mk ~weights:[ ("a", 4) ] ~epoch:0 [ "a"; "b"; "c" ] in
+  List.iter
+    (fun t ->
+      let o = Shard_map.owner heavy ~tenant:t in
+      Alcotest.(check bool) "weight only attracts" true
+        (o = "a" || o = Shard_map.owner unweighted ~tenant:t))
+    tenants;
+  let count m o =
+    List.length (List.filter (fun t -> Shard_map.owner m ~tenant:t = o) tenants)
+  in
+  Alcotest.(check bool) "heavier origin owns more" true
+    (count heavy "a" > count unweighted "a");
+  (* Rejections: unknown-origin weight, weight < 1, negative distance. *)
+  List.iter
+    (fun (weights, proximity) ->
+      match Shard_map.create ~weights ~proximity ~epoch:0 ~origins:[ "a" ] () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad weights/proximity must be rejected")
+    [ ([ ("ghost", 2) ], []); ([ ("a", 0) ], []); ([], [ ("r0", "a", -1) ]) ];
+  (* Codec roundtrip carries weights and proximity. *)
+  (match Shard_map.of_line (Shard_map.to_line heavy) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok heavy' ->
+    Alcotest.(check int) "weight survives" 4 (Shard_map.weight heavy' ~origin:"a");
+    List.iter
+      (fun t ->
+        Alcotest.(check string) "weighted ownership survives"
+          (Shard_map.owner heavy ~tenant:t)
+          (Shard_map.owner heavy' ~tenant:t))
+      tenants);
+  match Shard_map.of_line (Shard_map.to_line m) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok m' ->
+    Alcotest.(check (option int)) "proximity survives" (Some 1)
+      (Shard_map.distance m' ~node:"r0" ~origin:"a")
 
 let prop_shard_map_minimal_disruption =
   let gen =
@@ -1041,6 +1170,176 @@ let test_relay_forwards_candidates () =
   Alcotest.(check int) "forward counted" 1 k.Relay.forwarded;
   Alcotest.(check int) "failure counted" 1 k.Relay.forward_failures
 
+let test_relay_fork_repair () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2; s3 ]);
+  let relay =
+    Relay.create
+      ~config:{ Relay.compact_keep = 64; digest_interval = 1 }
+      ~id:"r0" ~tenants:[ "t0" ] ()
+  in
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 3 -> ()
+  | _ -> Alcotest.fail "relay sync must land on v3");
+  Alcotest.(check bool) "consistent after sync" true
+    (Relay.consistent relay ~tenant:"t0");
+  let r = Relay.handle relay (get "/digest?tenant=t0&since=0&interval=1") in
+  Alcotest.(check int) "digest served" 200 r.Http.Response.status;
+  Alcotest.(check (option string)) "digest mode" (Some "digest")
+    (header r "X-Signature-Mode");
+  (* Fork the mirror: the serving guard must trip on both endpoints. *)
+  Relay.inject_fork relay ~tenant:"t0";
+  Alcotest.(check bool) "fork detected" false
+    (Relay.consistent relay ~tenant:"t0");
+  let r = Relay.handle relay (get "/signatures?tenant=t0&since=0") in
+  Alcotest.(check int) "diverged mirror refuses" 503 r.Http.Response.status;
+  let r = Relay.handle relay (get "/digest?tenant=t0&since=0&interval=1") in
+  Alcotest.(check int) "diverged digest refuses too" 503 r.Http.Response.status;
+  (* The origin is idle, so the next sync is a verified 304 — which must
+     still notice the divergence and heal it by ranged repair, never a
+     rebuild: the prefix up to head - 1 is intact. *)
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Unchanged -> ()
+  | _ -> Alcotest.fail "idle origin must answer 304");
+  Alcotest.(check bool) "consistent again" true
+    (Relay.consistent relay ~tenant:"t0");
+  let k = Relay.counters relay in
+  Alcotest.(check int) "healed by ranged repair" 1 k.Relay.repairs;
+  Alcotest.(check int) "no resnapshot" 0 k.Relay.resnapshots;
+  Alcotest.(check bool) "repair bytes accounted" true (k.Relay.repair_bytes > 0);
+  Alcotest.(check bool) "refusals counted" true
+    (k.Relay.served_inconsistent >= 2);
+  let c = new_client "t0" in
+  ignore (sync_updated "client after repair" c (Relay.wire_transport relay));
+  check_set "repaired mirror serves the true set" [ s1; s2; s3 ]
+    (Delta_client.signatures c);
+  (* Fork again with the origin moving underneath: the delta-absorb
+     mismatch takes the same repair path. *)
+  ignore (Authority.publish auth ~tenant:"t0" [ s2; s3 ]);
+  Relay.inject_fork relay ~tenant:"t0";
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 4 -> ()
+  | _ -> Alcotest.fail "sync must land on v4");
+  let k = Relay.counters relay in
+  Alcotest.(check int) "second fork also repaired" 2 k.Relay.repairs;
+  Alcotest.(check int) "still no resnapshot" 0 k.Relay.resnapshots;
+  ignore (sync_updated "client follows" c (Relay.wire_transport relay));
+  check_set "post-retire set through the mirror" [ s2; s3 ]
+    (Delta_client.signatures c)
+
+let test_relay_gossip_catchup () =
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let ra = Relay.create ~id:"ra" ~tenants:[ "t0" ] () in
+  let rb = Relay.create ~id:"rb" ~tenants:[ "t0" ] () in
+  List.iter
+    (fun r ->
+      match
+        (Relay.sync_tenant r ~tenant:"t0" ~transport:(loss_free auth))
+          .Signature_client.outcome
+      with
+      | Signature_client.Updated 1 -> ()
+      | _ -> Alcotest.fail "both relays must sync to v1")
+    [ ra; rb ];
+  (* The origin advances; only ra sees it before rb is partitioned. *)
+  ignore (Authority.publish auth ~tenant:"t0" [ s1; s2 ]);
+  (match
+     (Relay.sync_tenant ra ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 2 -> ()
+  | _ -> Alcotest.fail "ra must reach v2");
+  Relay.set_peers rb
+    [ ("ra", Relay.wire_transport ra);
+      ("rb", fun _ -> Alcotest.fail "an entry matching self must be dropped") ];
+  (* Gossip with the origin unreachable: rb catches up from its sibling
+     through the full verification ladder. *)
+  let origin_dead ~tenant:_ _ = Error "origin partitioned" in
+  Relay.gossip rb ~upstream:origin_dead;
+  Alcotest.(check int) "rb caught up sideways" 2 (Relay.version rb ~tenant:"t0");
+  Alcotest.(check bool) "rb consistent" true (Relay.consistent rb ~tenant:"t0");
+  let k = Relay.counters rb in
+  Alcotest.(check int) "catch-up counted" 1 k.Relay.gossip_catchups;
+  Alcotest.(check int) "round counted" 1 k.Relay.gossip_rounds;
+  let c = new_client "t0" in
+  ignore (sync_updated "client via the caught-up relay" c (Relay.wire_transport rb));
+  check_set "sibling-sourced set" [ s1; s2 ] (Delta_client.signatures c);
+  Alcotest.(check int) "checksums agree end to end"
+    (Authority.checksum auth ~tenant:"t0")
+    (Delta_client.checksum c);
+  (* Nothing fresher anywhere: the next round moves nothing. *)
+  Relay.gossip rb ~upstream:origin_dead;
+  let k = Relay.counters rb in
+  Alcotest.(check int) "no-op round" 1 k.Relay.gossip_catchups;
+  Alcotest.(check int) "but still counted" 2 k.Relay.gossip_rounds
+
+let test_relay_version_age_and_metrics () =
+  let obs = Leakdetect_obs.Obs.create () in
+  let auth = Authority.create () in
+  ignore (Authority.publish auth ~tenant:"t0" [ s1 ]);
+  let relay = Relay.create ~obs ~id:"r0" ~tenants:[ "t0" ] () in
+  Relay.set_clock relay 3;
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(loss_free auth))
+       .Signature_client.outcome
+   with
+  | Signature_client.Updated 1 -> ()
+  | _ -> Alcotest.fail "sync must land");
+  Relay.set_clock relay 10;
+  Alcotest.(check int) "version age tracks the clock" 7
+    (Relay.version_age relay ~tenant:"t0");
+  let r = Relay.handle relay (get "/signatures?tenant=t0&since=1") in
+  Alcotest.(check int) "up to date" 304 r.Http.Response.status;
+  Alcotest.(check (option string)) "age advertised" (Some "7")
+    (header r "X-Relay-Version-Age");
+  Alcotest.(check (option string)) "fresh upstream" (Some "0")
+    (header r "X-Relay-Staleness");
+  (* A failed sync bumps staleness (transport health) but version age
+     keeps measuring the clock alone. *)
+  (match
+     (Relay.sync_tenant relay ~tenant:"t0" ~transport:(fun _ -> Error "down"))
+       .Signature_client.outcome
+   with
+  | Signature_client.Failed _ -> ()
+  | _ -> Alcotest.fail "dead transport must fail");
+  let r = Relay.handle relay (get "/signatures?tenant=t0&since=1") in
+  Alcotest.(check (option string)) "staleness bumped" (Some "1")
+    (header r "X-Relay-Staleness");
+  Alcotest.(check (option string)) "age unchanged" (Some "7")
+    (header r "X-Relay-Version-Age");
+  let m = Relay.handle relay (get "/metrics") in
+  Alcotest.(check int) "metrics served" 200 m.Http.Response.status;
+  let contains body needle =
+    let n = String.length body and m = String.length needle in
+    let rec go i =
+      i + m <= n && (String.sub body i m = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) (family ^ " exported") true
+        (contains m.Http.Response.body family))
+    [ "leakdetect_relay_staleness";
+      "leakdetect_relay_version_age";
+      "leakdetect_relay_version";
+      "leakdetect_relay_sync_rounds";
+      "leakdetect_relay_gossip_rounds";
+      "leakdetect_relay_repairs";
+      "leakdetect_relay_resnapshots";
+      "leakdetect_relay_served_inconsistent" ]
+
 (* --- sync_via: escalation ladder and relay failover --- *)
 
 let test_sync_via_escalates_past_byzantine_relay () =
@@ -1162,11 +1461,14 @@ let suite =
           test_changelog_restore_rejects_gaps;
         Alcotest.test_case "compact keep:0 boundary" `Quick
           test_changelog_compact_keep_zero;
+        Alcotest.test_case "ranged digest" `Quick test_changelog_digest;
         qtest prop_delta_equals_snapshot;
         qtest prop_compact_since_boundary ] );
     ( "distrib.shard_map",
       [ Alcotest.test_case "validation + stability" `Quick test_shard_map_basics;
         Alcotest.test_case "line codec" `Quick test_shard_map_codec;
+        Alcotest.test_case "weights + proximity edges" `Quick
+          test_shard_map_edges;
         qtest prop_shard_map_minimal_disruption ] );
     ( "distrib.authority",
       [ Alcotest.test_case "http statuses" `Quick test_authority_http_statuses;
@@ -1209,7 +1511,13 @@ let suite =
       [ Alcotest.test_case "serves + fail-static" `Quick
           test_relay_serves_and_fail_static;
         Alcotest.test_case "forwards candidates" `Quick
-          test_relay_forwards_candidates ] );
+          test_relay_forwards_candidates;
+        Alcotest.test_case "fork heals by ranged repair" `Quick
+          test_relay_fork_repair;
+        Alcotest.test_case "gossip catch-up from a sibling" `Quick
+          test_relay_gossip_catchup;
+        Alcotest.test_case "version age + metrics" `Quick
+          test_relay_version_age_and_metrics ] );
     ( "distrib.soak",
       [ Alcotest.test_case "mini soak" `Quick test_mini_soak;
         Alcotest.test_case "mini topology" `Quick test_mini_topology ] ) ]
